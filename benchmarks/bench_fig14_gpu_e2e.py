@@ -1,0 +1,46 @@
+"""Figure 14: GPU end-to-end evaluation.
+
+TVM vs MXNet vs TensorFlow vs TensorFlow-XLA on ResNet-18, MobileNet,
+LSTM LM, DQN and DCGAN (batch 1, simulated Titan X).  The paper reports TVM
+speedups of 1.6x-3.8x over the frameworks backed by cuDNN/cuBLAS.
+"""
+
+import pytest
+
+from common import MODEL_BUILDERS, build_model, compile_model, get_target, print_series
+from repro.baselines import MXNetSim, TensorFlowSim, TensorFlowXLASim
+
+MODELS = ["resnet-18", "mobilenet", "lstm-lm", "dqn", "dcgan"]
+
+
+def _evaluate():
+    rows = []
+    for model in MODELS:
+        module = compile_model(model, "cuda", opt_level=2, tuned=False)
+        module_nofuse = compile_model(model, "cuda", opt_level=0, tuned=False)
+        entry = {
+            "TVM": module.total_time * 1e3,
+            "TVM w/o graph opt": module_nofuse.total_time * 1e3,
+        }
+        for framework in (TensorFlowSim(), TensorFlowXLASim(), MXNetSim()):
+            graph, _params, shapes = build_model(model)
+            result = framework.run_estimate(graph, shapes)
+            entry[framework.name] = result.total_time * 1e3
+        rows.append((model, entry))
+    return rows
+
+
+def test_fig14_gpu_end_to_end(benchmark):
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_series("Figure 14: GPU end-to-end inference time (ms)", rows)
+    for model, entry in rows:
+        best_framework = min(entry["TensorFlow"], entry["MXNet"])
+        speedup = best_framework / entry["TVM"]
+        benchmark.extra_info[f"{model}_speedup_vs_best_framework"] = round(speedup, 2)
+        # TVM should beat the vendor-library frameworks on every model, and
+        # graph optimisation should never hurt.
+        assert entry["TVM"] < best_framework
+        assert entry["TVM"] <= entry["TVM w/o graph opt"] * 1.05
+    # DQN has the largest speedup because of its unconventional 4x4 s2 conv.
+    speedups = {m: min(e["TensorFlow"], e["MXNet"]) / e["TVM"] for m, e in rows}
+    assert speedups["dqn"] >= speedups["resnet-18"]

@@ -1,0 +1,47 @@
+"""Figure 16: ARM Cortex A53 end-to-end evaluation.
+
+TVM vs TensorFlow Lite on ResNet-18, MobileNet and DQN (batch 1).  DCGAN and
+LSTM are omitted exactly as in the paper (not supported by the baseline).
+"""
+
+import pytest
+
+from common import build_model, compile_model, print_series
+from repro.baselines import TFLiteSim
+
+MODELS = ["resnet-18", "mobilenet", "dqn"]
+
+
+def _evaluate():
+    rows = []
+    tflite = TFLiteSim()
+    for model in MODELS:
+        module = compile_model(model, "arm_cpu", opt_level=2, tuned=False)
+        module_nofuse = compile_model(model, "arm_cpu", opt_level=0, tuned=False)
+        graph, _params, shapes = build_model(model)
+        baseline = tflite.run_estimate(graph, shapes)
+        rows.append((model, {
+            "Tensorflow Lite": baseline.total_time * 1e3,
+            "TVM w/o graph opt": module_nofuse.total_time * 1e3,
+            "TVM": module.total_time * 1e3,
+        }))
+    return rows
+
+
+def test_fig16_arm_end_to_end(benchmark):
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_series("Figure 16: ARM A53 end-to-end inference time (ms)", rows)
+    for model, entry in rows:
+        speedup = entry["Tensorflow Lite"] / entry["TVM"]
+        benchmark.extra_info[f"{model}_speedup_vs_tflite"] = round(speedup, 2)
+        assert entry["TVM"] < entry["Tensorflow Lite"], \
+            f"TVM should outperform TFLite on {model}"
+        assert entry["TVM"] <= entry["TVM w/o graph opt"] * 1.05
+
+
+def test_fig16_unsupported_workloads():
+    """The baseline cannot run DCGAN / LSTM — noted in the paper's footnote."""
+    tflite = TFLiteSim()
+    graph, _params, shapes = build_model("dcgan")
+    with pytest.raises(NotImplementedError):
+        tflite.run_estimate(graph, shapes)

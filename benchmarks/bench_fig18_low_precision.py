@@ -1,0 +1,63 @@
+"""Figure 18: ultra low-precision (2-bit activation, 1-bit weight) conv2d.
+
+Single- and multi-threaded TVM bit-serial kernels versus the hand-optimized
+single-threaded Caffe2 ultra-low-precision baseline on the ARM A53, for the
+ResNet conv layers C2-C12.  The paper highlights C5/C8/C11 (1x1, stride 2)
+where the baseline library is not optimized.
+"""
+
+import pytest
+
+from common import get_target, print_series
+from repro import tir
+from repro.autotvm.space import ConfigSpace
+from repro.baselines import CAFFE2_ULP_PROFILE, VendorLibrary
+from repro.topi.bitserial import bitserial_conv2d_packed
+from repro.topi.schedules.cpu import bitserial_conv2d_cpu_template
+from repro.workloads import RESNET_CONV_WORKLOADS
+
+
+def _tvm_bitserial_time(workload, target, parallel: bool) -> float:
+    data, weight, out = bitserial_conv2d_packed(
+        1, workload.in_channels, workload.height, workload.width,
+        workload.out_channels, workload.kernel, workload.stride,
+        workload.padding, activation_bits=2, weight_bits=1)
+    cfg = ConfigSpace()
+    schedule, tensors = bitserial_conv2d_cpu_template(
+        cfg, data, weight, out, use_tensorize=True, use_parallel=parallel)
+    func = tir.lower(schedule, tensors, name=f"bitserial_{workload.name}")
+    return target.model.estimate(tir.extract_features(func))
+
+
+def _evaluate():
+    target = get_target("arm_cpu")
+    caffe2 = VendorLibrary(CAFFE2_ULP_PROFILE, target, single_threaded=True)
+    rows = []
+    for workload in RESNET_CONV_WORKLOADS[1:]:      # C2..C12 as in the paper
+        baseline = caffe2.bitserial_conv2d_time(
+            1, workload.in_channels, workload.height, workload.width,
+            workload.out_channels, workload.kernel, workload.stride,
+            workload.padding, activation_bits=2, weight_bits=1)
+        single = _tvm_bitserial_time(workload, target, parallel=False)
+        multi = _tvm_bitserial_time(workload, target, parallel=True)
+        rows.append((workload.name, {
+            "Hand optimized": 1.0,
+            "TVM single-threaded": baseline / single,
+            "TVM multi-threaded": baseline / multi,
+        }))
+    return rows
+
+
+def test_fig18_low_precision_speedups(benchmark):
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_series("Figure 18: low-precision conv2d speedup vs Caffe2 ULP baseline",
+                 rows, unit="x")
+    single = {n: e["TVM single-threaded"] for n, e in rows}
+    multi = {n: e["TVM multi-threaded"] for n, e in rows}
+    # Multi-threading should help (except possibly the low-intensity 1x1 layers),
+    # and the 1x1 stride-2 layers (C5, C8, C11) should show the largest wins
+    # because the baseline library is not optimized for them.
+    assert sum(multi[n] >= single[n] for n in multi) >= len(multi) - 3
+    regular = [v for n, v in single.items() if n not in ("C5", "C8", "C11")]
+    unusual = [v for n, v in single.items() if n in ("C5", "C8", "C11")]
+    assert min(unusual) > sum(regular) / len(regular) * 0.8

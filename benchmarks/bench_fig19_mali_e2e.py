@@ -1,0 +1,45 @@
+"""Figure 19: Mali-T860MP4 end-to-end evaluation, float32 and float16.
+
+TVM vs the ARM Compute Library on ResNet-18, MobileNet and DQN.  The paper
+reports 1.2x-1.6x speedups; DCGAN and LSTM are not supported by the baseline.
+"""
+
+import pytest
+
+from common import build_model, compile_model, print_series
+from repro.baselines import ACLSim
+
+MODELS = ["resnet-18", "mobilenet", "dqn"]
+
+
+def _evaluate():
+    rows = []
+    acl = ACLSim()
+    for model in MODELS:
+        for dtype in ("float32", "float16"):
+            module = compile_model(model, "mali", opt_level=2, dtype=dtype,
+                                   tuned=False)
+            module_nofuse = compile_model(model, "mali", opt_level=0, dtype=dtype,
+                                          tuned=False)
+            graph, _params, shapes = build_model(model, dtype=dtype)
+            baseline = acl.run_estimate(graph, shapes, dtype=dtype)
+            rows.append((f"{model}/{dtype[-4:]}", {
+                "ARMComputeLib": baseline.total_time * 1e3,
+                "TVM w/o graph opt": module_nofuse.total_time * 1e3,
+                "TVM": module.total_time * 1e3,
+            }))
+    return rows
+
+
+def test_fig19_mali_end_to_end(benchmark):
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_series("Figure 19: Mali GPU end-to-end inference time (ms)", rows)
+    for name, entry in rows:
+        speedup = entry["ARMComputeLib"] / entry["TVM"]
+        benchmark.extra_info[f"{name}_speedup"] = round(speedup, 2)
+        assert entry["TVM"] < entry["ARMComputeLib"] * 1.1, \
+            f"TVM should be at least competitive with ACL on {name}"
+    # float16 must be faster than float32 for the same model under TVM.
+    by_name = dict(rows)
+    for model in MODELS:
+        assert by_name[f"{model}/at16"]["TVM"] <= by_name[f"{model}/at32"]["TVM"] * 1.05

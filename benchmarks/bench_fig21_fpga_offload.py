@@ -1,0 +1,61 @@
+"""Figure 21: offloading ResNet-18 convolutions to the FPGA accelerator.
+
+Breaks ResNet-18 inference time into convolution and other operators for a
+CPU-only build and a CPU+VDLA heterogeneous build.  In the paper the
+offloaded convolutions see a 40x speedup while the end-to-end gain is limited
+by the layers that stay on the CPU (Amdahl's law).
+"""
+
+import pytest
+
+from common import build_model, get_target, print_series
+from repro.graph import build
+
+
+def _evaluate():
+    # The FPGA platform's host CPU is the PYNQ board's dual-core Cortex A9
+    # (Section 6.4), not the Cortex A53 used in the embedded-CPU experiments.
+    graph, params, shapes = build_model("resnet-18")
+    cpu_target = get_target("pynq_cpu")
+    _g, cpu_module, _p = build(graph, cpu_target, params, opt_level=2)
+
+    graph2, params2, _ = build_model("resnet-18")
+    vdla_target = get_target("vdla")
+    _g, het_module, _p = build(graph2, cpu_target, params2, opt_level=2,
+                               heterogeneous_targets={"conv2d": vdla_target})
+    return cpu_module, het_module
+
+
+def _breakdown(module):
+    conv = 0.0
+    other = 0.0
+    for kernel in module.kernels:
+        if kernel.group.master.op == "conv2d":
+            conv += kernel.time_seconds
+        else:
+            other += kernel.time_seconds
+    return conv, other
+
+
+def test_fig21_fpga_offload(benchmark):
+    cpu_module, het_module = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    cpu_conv, cpu_other = _breakdown(cpu_module)
+    het_conv, het_other = _breakdown(het_module)
+    rows = [
+        ("TVM ARM", {"conv (ms)": cpu_conv * 1e3, "other (ms)": cpu_other * 1e3,
+                     "total (ms)": (cpu_conv + cpu_other) * 1e3}),
+        ("TVM ARM+FPGA", {"conv (ms)": het_conv * 1e3, "other (ms)": het_other * 1e3,
+                          "total (ms)": (het_conv + het_other) * 1e3}),
+    ]
+    print_series("Figure 21: ResNet-18 inference time breakdown", rows)
+    conv_speedup = cpu_conv / het_conv
+    total_speedup = (cpu_conv + cpu_other) / (het_conv + het_other)
+    print(f"convolution speedup from offloading: {conv_speedup:.1f}x, "
+          f"end-to-end: {total_speedup:.2f}x")
+    benchmark.extra_info["conv_offload_speedup"] = round(conv_speedup, 1)
+    benchmark.extra_info["end_to_end_speedup"] = round(total_speedup, 2)
+    # Offloaded convolutions should speed up by a large factor (paper: 40x)
+    # while the end-to-end gain is bounded by the CPU-resident layers.
+    assert conv_speedup > 5.0
+    assert total_speedup < conv_speedup
+    assert total_speedup > 1.0

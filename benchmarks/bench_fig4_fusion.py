@@ -1,0 +1,78 @@
+"""Figure 4: impact of operator fusion.
+
+Relative speedup of fused vs non-fused execution for conv+bn+relu,
+depthwise-conv+bn+relu, and RNN/LSTM cells on the server GPU.  The paper
+reports 1.2x-2.0x speedups from removing intermediate-result round trips.
+"""
+
+import pytest
+
+from common import get_target, print_series
+from repro.frontend.builder import ModelBuilder
+from repro.graph import build
+
+
+def _workloads():
+    specs = []
+
+    def conv_bn_relu():
+        b = ModelBuilder("fig4_conv", seed=0)
+        data = b.input("data", (1, 128, 28, 28))
+        net = b.relu(b.batch_norm(b.conv2d(data, 256, 1, 1, 0, name="conv")))
+        return b.finalize(net)
+
+    def depthwise_bn_relu():
+        b = ModelBuilder("fig4_dw", seed=0)
+        data = b.input("data", (1, 512, 14, 14))
+        net = b.relu(b.batch_norm(b.depthwise_conv2d(data, 3, 1, 1, name="dw")))
+        return b.finalize(net)
+
+    def rnn_cell(hidden=128):
+        b = ModelBuilder("fig4_rnn", seed=0)
+        x = b.input("x", (1, hidden))
+        h = b.input("h", (1, hidden))
+        out = b.tanh(b.add(b.dense(x, hidden), b.dense(h, hidden)))
+        return b.finalize(out), {"x": (1, hidden), "h": (1, hidden)}
+
+    def lstm_cell(hidden=128):
+        b = ModelBuilder("fig4_lstm", seed=0)
+        x = b.input("x", (1, hidden))
+        h = b.input("h", (1, hidden))
+        c = b.input("c", (1, hidden))
+        h2, _c2 = b.lstm_cell(x, h, c, hidden)
+        return b.finalize(h2), {"x": (1, hidden), "h": (1, hidden), "c": (1, hidden)}
+
+    specs.append(("conv+bn+relu", conv_bn_relu(), {"data": (1, 128, 28, 28)}))
+    specs.append(("dwconv+bn+relu", depthwise_bn_relu(), {"data": (1, 512, 14, 14)}))
+    (rnn_graph, rnn_shapes) = rnn_cell()
+    specs.append(("rnn cell", rnn_graph, rnn_shapes))
+    (lstm_graph, lstm_shapes) = lstm_cell()
+    specs.append(("lstm cell", lstm_graph, lstm_shapes))
+    return specs
+
+
+def _evaluate():
+    target = get_target("cuda")
+    rows = []
+    for name, (graph, params), shapes in _workloads():
+        for node in graph.input_nodes:
+            if node.shape is None and node.name in shapes:
+                node.shape = shapes[node.name]
+        _g, fused, _p = build(graph, target, params, opt_level=2)
+        _g, unfused, _p = build(graph, target, params, opt_level=0)
+        rows.append((name, {
+            "w/o fusion (ms)": unfused.total_time * 1e3,
+            "w/ fusion (ms)": fused.total_time * 1e3,
+            "speedup": unfused.total_time / fused.total_time,
+        }))
+    return rows
+
+
+def test_fig4_operator_fusion(benchmark):
+    rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_series("Figure 4: fused vs non-fused relative speedup", rows, unit="see col")
+    for name, entry in rows:
+        benchmark.extra_info[f"{name}_speedup"] = round(entry["speedup"], 2)
+        # Fusion must help, and in the paper's 1.2x-2x range (loosely checked).
+        assert entry["speedup"] > 1.05, f"fusion did not help for {name}"
+        assert entry["speedup"] < 5.0

@@ -1,0 +1,76 @@
+"""Figure 6 (ablation): schedule primitives used by each back-end.
+
+Checks that the schedules the per-backend templates actually generate use the
+primitives the paper's table lists: Halide-style loop transformations
+everywhere, special memory scopes and thread binding on the GPU,
+tensorization and latency hiding on the accelerator.
+"""
+
+import pytest
+
+from common import get_target
+from repro import te, tir
+from repro.autotvm.space import ConfigSpace
+from repro.hardware import SCHEDULE_PRIMITIVE_SUPPORT
+from repro.topi import nn
+from repro.topi.schedules import cpu as cpu_sched
+from repro.topi.schedules import gpu as gpu_sched
+from repro.topi.schedules import vdla as vdla_sched
+
+
+def _gpu_features():
+    A = te.placeholder((256, 256), name="A")
+    B = te.placeholder((256, 256), name="B")
+    C = nn.matmul(A, B)
+    s = gpu_sched.schedule_matmul_gpu(A, B, C)
+    return tir.extract_features(tir.lower(s, [A, B, C]))
+
+
+def _cpu_features():
+    data = te.placeholder((1, 32, 28, 28), name="data")
+    kernel = te.placeholder((32, 32, 3, 3), name="kernel")
+    conv = nn.conv2d_nchw(data, kernel, 1, 1)
+    cfg = ConfigSpace()
+    # Pin a representative configuration: 4-way multicore split, 4-wide SIMD.
+    cfg.define_split("tile_f", 32, 2, candidate_sizes=[[4, 8]])
+    cfg.define_split("tile_y", 28, 2, candidate_sizes=[[7, 4]])
+    cfg.define_split("tile_x", 28, 2, candidate_sizes=[[7, 4]])
+    cfg.define_split("tile_rc", 32, 2, candidate_sizes=[[8, 4]])
+    s, tensors = cpu_sched.conv2d_cpu_template(cfg, data, kernel, conv)
+    return tir.extract_features(tir.lower(s, tensors))
+
+
+def _vdla_features():
+    s, tensors = vdla_sched.schedule_gemm_vdla(64, 64, 64, vthreads=2)
+    func = tir.lower(s, tensors)
+    func = tir.inject_virtual_threads(func)
+    return tir.extract_features(func)
+
+
+def test_fig6_schedule_primitive_usage(benchmark):
+    gpu_feat, cpu_feat, vdla_feat = benchmark.pedantic(
+        lambda: (_gpu_features(), _cpu_features(), _vdla_features()),
+        rounds=1, iterations=1)
+    print("\n=== Figure 6: schedule primitives per back-end ===")
+    print(f"{'primitive':28s} {'CPU':>6s} {'GPU':>6s} {'Accel':>6s}")
+    usage = {
+        "loop transformations": (True, True, True),
+        "thread binding": (cpu_feat.parallel_extent > 1, gpu_feat.num_threads > 1,
+                           vdla_feat.vthread_extent > 1 or vdla_feat.dep_token_count > 0),
+        "special memory scope": (False, gpu_feat.bytes_in_scope("shared") > 0,
+                                 vdla_feat.bytes_in_scope("acc_buffer") > 0
+                                 or vdla_feat.bytes_in_scope("inp_buffer") > 0),
+        "tensorization": (False, False, vdla_feat.intrinsic_calls > 0),
+        "latency hiding": (False, False, vdla_feat.dep_token_count > 0),
+    }
+    for primitive, (on_cpu, on_gpu, on_accel) in usage.items():
+        print(f"{primitive:28s} {str(bool(on_cpu)):>6s} {str(bool(on_gpu)):>6s} "
+              f"{str(bool(on_accel)):>6s}")
+    # Cross-check against the capability table exposed by the targets.
+    assert SCHEDULE_PRIMITIVE_SUPPORT["gpu"]["special_memory_scope"]
+    assert SCHEDULE_PRIMITIVE_SUPPORT["accel"]["latency_hiding"]
+    assert not SCHEDULE_PRIMITIVE_SUPPORT["cpu"]["special_memory_scope"]
+    # And against what the generated schedules actually do.
+    assert gpu_feat.num_threads > 1 and gpu_feat.bytes_in_scope("shared") > 0
+    assert cpu_feat.parallel_extent > 1 and cpu_feat.vector_lanes > 1
+    assert vdla_feat.intrinsic_calls > 0 and vdla_feat.dep_token_count > 0

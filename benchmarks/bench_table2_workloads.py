@@ -1,0 +1,71 @@
+"""Table 2: conv2d / depthwise-conv2d operator configurations.
+
+Regenerates the table of single-kernel workloads (all ResNet-18 conv2d
+operators and all MobileNet depthwise operators) and checks the shapes match
+the networks in the model zoo.
+"""
+
+import pytest
+
+from common import build_model
+from repro.workloads import (
+    MOBILENET_DEPTHWISE_WORKLOADS,
+    RESNET_CONV_WORKLOADS,
+    all_workloads,
+)
+
+
+def _resnet_conv_shapes():
+    graph, _params, shapes = build_model("resnet-18")
+    graph.infer_shapes(shapes)
+    found = set()
+    for node in graph.op_nodes:
+        if node.op != "conv2d":
+            continue
+        (_n, ic, h, _w) = node.inputs[0].shape
+        (oc, _ic, k, _k) = node.inputs[1].shape
+        stride = node.attrs.get("strides", 1)
+        stride = stride if isinstance(stride, int) else stride[0]
+        found.add((h, ic, oc, k, stride))
+    return found
+
+
+def _mobilenet_depthwise_shapes():
+    graph, _params, shapes = build_model("mobilenet")
+    graph.infer_shapes(shapes)
+    found = set()
+    for node in graph.op_nodes:
+        if node.op != "depthwise_conv2d":
+            continue
+        (_n, c, h, _w) = node.inputs[0].shape
+        (_c, _m, k, _k) = node.inputs[1].shape
+        stride = node.attrs.get("strides", 1)
+        stride = stride if isinstance(stride, int) else stride[0]
+        found.add((h, c, k, stride))
+    return found
+
+
+def test_table2_workloads(benchmark):
+    table = benchmark.pedantic(all_workloads, rounds=1, iterations=1)
+    print("\n=== Table 2: operator configurations ===")
+    print(f"{'name':5s} {'op':18s} {'H,W':>9s} {'IC':>5s} {'OC':>5s} {'K':>3s} {'S':>3s} {'GFLOPs':>8s}")
+    for workload in RESNET_CONV_WORKLOADS:
+        print(f"{workload.name:5s} {'conv2d':18s} {workload.height:4d},{workload.width:<4d}"
+              f" {workload.in_channels:5d} {workload.out_channels:5d}"
+              f" {workload.kernel:3d} {workload.stride:3d} {workload.gflops:8.3f}")
+    for workload in MOBILENET_DEPTHWISE_WORKLOADS:
+        print(f"{workload.name:5s} {'depthwise conv2d':18s} {workload.height:4d},{workload.width:<4d}"
+              f" {workload.channels:5d} {'':>5s} {workload.kernel:3d} {workload.stride:3d}"
+              f" {workload.gflops:8.3f}")
+    assert len(table) == 21
+
+    # The table rows really are the layers of the model-zoo networks.
+    resnet_shapes = _resnet_conv_shapes()
+    for workload in RESNET_CONV_WORKLOADS:
+        key = (workload.height, workload.in_channels, workload.out_channels,
+               workload.kernel, workload.stride)
+        assert key in resnet_shapes, f"{workload.name} not found in ResNet-18"
+    mobilenet_shapes = _mobilenet_depthwise_shapes()
+    for workload in MOBILENET_DEPTHWISE_WORKLOADS:
+        key = (workload.height, workload.channels, workload.kernel, workload.stride)
+        assert key in mobilenet_shapes, f"{workload.name} not found in MobileNet"

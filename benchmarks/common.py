@@ -1,0 +1,140 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation.  The helpers here cache expensive artefacts (tuning databases,
+compiled modules) across benchmarks within one pytest session so the whole
+suite stays fast, and provide a uniform way to print the rows/series each
+figure reports.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.autotvm.database import TuningDatabase
+from repro.frontend import (
+    dcgan_generator,
+    dqn,
+    lstm_language_model,
+    mobilenet,
+    resnet18,
+)
+from repro.graph import build, clear_timing_cache, tune_graph
+from repro.hardware import Target, arm_cpu, cuda, mali, pynq_cpu, vdla
+
+#: trials per workload used by the benchmark suite (kept modest so the whole
+#: suite runs in minutes; increase for tighter results)
+TUNE_TRIALS = 20
+
+MODEL_BUILDERS = {
+    "resnet-18": resnet18,
+    "mobilenet": mobilenet,
+    "lstm-lm": lstm_language_model,
+    "dqn": dqn,
+    "dcgan": dcgan_generator,
+}
+
+_TARGET_FACTORIES = {
+    "cuda": cuda,
+    "arm_cpu": arm_cpu,
+    "pynq_cpu": pynq_cpu,
+    "mali": mali,
+    "vdla": vdla,
+}
+
+_tuning_cache: Dict[Tuple[str, str, str], TuningDatabase] = {}
+_module_cache: Dict[Tuple[str, str, int, str], object] = {}
+
+
+def get_target(name: str) -> Target:
+    return _TARGET_FACTORIES[name]()
+
+
+def build_model(name: str, dtype: str = "float32"):
+    graph, params, shapes = MODEL_BUILDERS[name](batch=1, dtype=dtype)
+    return graph, params, shapes
+
+
+def tuned_database(model: str, target_name: str, dtype: str = "float32",
+                   n_trial: int = TUNE_TRIALS) -> TuningDatabase:
+    """Tune (once per session) every heavy workload of a model for a target."""
+    key = (model, target_name, dtype)
+    if key not in _tuning_cache:
+        graph, _params, shapes = build_model(model, dtype)
+        target = get_target(target_name)
+        _tuning_cache[key] = tune_graph(graph, target, shapes, n_trial=n_trial,
+                                        tuner="model")
+    return _tuning_cache[key]
+
+
+def compile_model(model: str, target_name: str, opt_level: int = 2,
+                  dtype: str = "float32", tuned: bool = True):
+    """Compile a model end-to-end and return the compiled module."""
+    key = (model, target_name, opt_level, dtype)
+    if key not in _module_cache:
+        graph, params, shapes = build_model(model, dtype)
+        target = get_target(target_name)
+        db = tuned_database(model, target_name, dtype) if tuned else None
+        _graph, module, _params = build(graph, target, params,
+                                        opt_level=opt_level, tuning_db=db)
+        _module_cache[key] = module
+    return _module_cache[key]
+
+
+def print_series(title: str, rows: List[Tuple[str, Dict[str, float]]],
+                 unit: str = "ms") -> None:
+    """Print a figure's data series in a compact table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        return
+    columns = list(rows[0][1].keys())
+    header = "workload".ljust(14) + "".join(c.rjust(18) for c in columns)
+    print(header)
+    for name, values in rows:
+        line = name.ljust(14)
+        for column in columns:
+            value = values.get(column, float("nan"))
+            line += f"{value:18.4f}"
+        print(line + f"   [{unit}]")
+
+
+def _conv_node(batch, in_channels, height, width, out_channels, kernel, stride,
+               padding, depthwise=False, dtype="float32"):
+    """Build a standalone conv/depthwise graph node for single-kernel timing."""
+    from repro.graph.ir import Node
+    from repro.graph.ops import OP_REGISTRY
+
+    data = Node("null", "data")
+    data.shape = (batch, in_channels, height, width)
+    data.dtype = dtype
+    weight = Node("null", "weight")
+    if depthwise:
+        weight.shape = (in_channels, 1, kernel, kernel)
+        node = Node("depthwise_conv2d", "dw", [data, weight],
+                    {"strides": stride, "padding": padding})
+    else:
+        weight.shape = (out_channels, in_channels, kernel, kernel)
+        node = Node("conv2d", "conv", [data, weight],
+                    {"strides": stride, "padding": padding})
+    weight.dtype = dtype
+    node.dtype = dtype
+    node.shape = OP_REGISTRY[node.op].infer_shape([data.shape, weight.shape], node.attrs)
+    return node
+
+
+def tvm_conv_time(workload, target_name: str, depthwise: bool = False,
+                  dtype: str = "float32") -> float:
+    """TVM's single-kernel time for a Table 2 workload (fallback search)."""
+    from repro.graph.op_timing import estimate_node_time
+
+    target = get_target(target_name)
+    if depthwise:
+        node = _conv_node(1, workload.channels, workload.height, workload.width,
+                          workload.channels, workload.kernel, workload.stride,
+                          workload.padding, depthwise=True, dtype=dtype)
+    else:
+        node = _conv_node(1, workload.in_channels, workload.height, workload.width,
+                          workload.out_channels, workload.kernel, workload.stride,
+                          workload.padding, dtype=dtype)
+    return estimate_node_time(node, target)

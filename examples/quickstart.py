@@ -1,0 +1,52 @@
+"""Quickstart: the end-user flow from Section 2 of the paper.
+
+Take a model from the frontend, compile it for a target with
+``compiler.build``, deploy it with the graph runtime, and inspect both the
+numerical output and the simulated latency.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import runtime
+from repro.frontend import resnet18
+from repro.graph import build
+from repro.hardware import cuda
+
+
+def main() -> None:
+    # 1. Import a model (the paper uses t.frontend.from_keras; here the model
+    #    zoo provides the graph + parameters directly).
+    graph, params, input_shapes = resnet18(batch=1, image_size=64, num_classes=100)
+    print(f"Imported ResNet-18 variant: {len(graph.op_nodes)} operators, "
+          f"{len(params)} parameter tensors")
+
+    # 2. Compile for a target.
+    target = cuda()
+    graph, lib, params = build(graph, target, params, opt_level=2)
+    print(f"Compiled module: {len(lib.kernels)} fused kernels, "
+          f"estimated latency {lib.total_time * 1e3:.3f} ms on {target.name}")
+    print(f"Static memory planning reuse: {lib.memory_plan.reuse_ratio:.2f}x "
+          f"({lib.memory_plan.naive_bytes / 1e6:.1f} MB -> "
+          f"{lib.memory_plan.planned_bytes / 1e6:.1f} MB)")
+
+    # 3. Deploy with the graph runtime.
+    module = runtime.create(lib, runtime.gpu(0))
+    module.set_input(**params)
+    data = np.random.rand(*input_shapes["data"]).astype("float32")
+    module.run(data=data)
+    output = runtime.empty((1, 100), ctx=runtime.gpu(0))
+    module.get_output(0, output)
+
+    probabilities = output.asnumpy()
+    print(f"Output shape: {probabilities.shape}, "
+          f"sum of probabilities: {probabilities.sum():.4f}")
+    print("Top-5 classes:", np.argsort(probabilities[0])[::-1][:5].tolist())
+    print("\nPer-kernel breakdown (top 5 by time):")
+    for name, seconds in sorted(module.profile(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {name:<45s} {seconds * 1e6:9.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The environment used for reproduction has no network access and no
+``bdist_wheel`` support; ``pip install -e . --no-use-pep517`` falls back to
+``setup.py develop`` via this file.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

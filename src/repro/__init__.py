@@ -1,0 +1,20 @@
+"""repro — a pure-Python reproduction of the TVM deep-learning compiler stack.
+
+The package mirrors the paper's architecture (Figure 2):
+
+* :mod:`repro.te` — declarative tensor expressions and schedules.
+* :mod:`repro.tir` — the low-level loop program IR, lowering and transforms.
+* :mod:`repro.topi` — the operator library built on tensor expressions.
+* :mod:`repro.autotvm` — the ML-based automated schedule optimizer.
+* :mod:`repro.graph` — the computational graph IR and high-level rewriting.
+* :mod:`repro.hardware` — simulated CPU / GPU / accelerator back-ends.
+* :mod:`repro.runtime` — NDArray, deployable modules, graph executor, RPC.
+* :mod:`repro.frontend` — model builder and the model zoo used in evaluation.
+* :mod:`repro.baselines` — simulated vendor libraries and framework baselines.
+"""
+
+from . import te, tir
+
+__version__ = "0.1.0"
+
+__all__ = ["te", "tir", "__version__"]

@@ -1,0 +1,54 @@
+"""ML-based automated schedule optimizer (paper Section 5)."""
+
+from .cost_model import (
+    GradientBoostedTrees,
+    NeuralCostModel,
+    RegressionTree,
+    rank_correlation,
+)
+from .database import TuningDatabase, TuningLogEntry
+from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord, RPCMeasurer
+from .space import ConfigEntity, ConfigSpace, OtherEntity, SplitEntity
+from .task import TEMPLATE_REGISTRY, Task, create_task, get_template, register_template
+from .treernn import ASTNode, TreeRNNCostModel, build_ast
+from .tuner import (
+    GATuner,
+    GridSearchTuner,
+    ModelBasedTuner,
+    RandomTuner,
+    SimulatedAnnealingOptimizer,
+    Tuner,
+    TuningRecord,
+)
+
+__all__ = [
+    "ConfigEntity",
+    "ConfigSpace",
+    "GATuner",
+    "GradientBoostedTrees",
+    "GridSearchTuner",
+    "LocalMeasurer",
+    "MeasureInput",
+    "MeasureResultRecord",
+    "ModelBasedTuner",
+    "NeuralCostModel",
+    "OtherEntity",
+    "RPCMeasurer",
+    "RandomTuner",
+    "RegressionTree",
+    "SimulatedAnnealingOptimizer",
+    "SplitEntity",
+    "TEMPLATE_REGISTRY",
+    "Task",
+    "TreeRNNCostModel",
+    "ASTNode",
+    "build_ast",
+    "Tuner",
+    "TuningDatabase",
+    "TuningLogEntry",
+    "TuningRecord",
+    "create_task",
+    "get_template",
+    "rank_correlation",
+    "register_template",
+]

@@ -1,0 +1,238 @@
+"""ML-based cost models (paper Section 5.2, Figure 13, Table 1).
+
+Two models are provided, mirroring the paper's design space:
+
+* :class:`GradientBoostedTrees` — the default: gradient-boosted regression
+  trees over loop-program features, trained with either a squared-error or a
+  pairwise **rank** objective (the paper's choice, since the explorer only
+  needs the relative order of candidates).  XGBoost itself is unavailable
+  offline, so the trees and the boosting loop are implemented here.
+* :class:`NeuralCostModel` — a small multi-layer perceptron standing in for
+  the TreeRNN alternative the paper evaluates (similar quality, slower).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RegressionTree", "GradientBoostedTrees", "NeuralCostModel", "rank_correlation"]
+
+
+class RegressionTree:
+    """A CART-style regression tree fitted to (features, residuals)."""
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 2,
+                 max_thresholds: int = 8):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.tree_: Optional[dict] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self.tree_ = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> dict:
+        node = {"value": float(np.mean(y)) if len(y) else 0.0}
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf \
+                or float(np.var(y)) < 1e-12:
+            return node
+        best = self._best_split(x, y)
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        node.update({
+            "feature": feature,
+            "threshold": threshold,
+            "left": self._build(x[mask], y[mask], depth + 1),
+            "right": self._build(x[~mask], y[~mask], depth + 1),
+        })
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n_samples, n_features = x.shape
+        base_error = float(np.sum((y - y.mean()) ** 2))
+        best_gain = 1e-9
+        best = None
+        for feature in range(n_features):
+            column = x[:, feature]
+            unique = np.unique(column)
+            if len(unique) < 2:
+                continue
+            if len(unique) > self.max_thresholds:
+                candidates = np.quantile(unique,
+                                         np.linspace(0.1, 0.9, self.max_thresholds))
+            else:
+                candidates = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in candidates:
+                mask = column <= threshold
+                left, right = y[mask], y[~mask]
+                if len(left) < self.min_samples_leaf or len(right) < self.min_samples_leaf:
+                    continue
+                error = float(np.sum((left - left.mean()) ** 2)
+                              + np.sum((right - right.mean()) ** 2))
+                gain = base_error - error
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), mask)
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.tree_ is None:
+            return np.zeros(len(x))
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self.tree_
+            while "feature" in node:
+                node = node["left"] if row[node["feature"]] <= node["threshold"] \
+                    else node["right"]
+            out[i] = node["value"]
+        return out
+
+
+class GradientBoostedTrees:
+    """Gradient tree boosting with squared-error or pairwise rank objectives."""
+
+    def __init__(self, num_rounds: int = 40, learning_rate: float = 0.15,
+                 max_depth: int = 4, loss: str = "rank", num_pairs: int = 4,
+                 seed: int = 0):
+        if loss not in ("reg", "rank"):
+            raise ValueError("loss must be 'reg' or 'rank'")
+        self.num_rounds = num_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.loss = loss
+        self.num_pairs = num_pairs
+        self.rng = np.random.default_rng(seed)
+        self.trees: List[RegressionTree] = []
+        self.base_score = 0.0
+
+    # -- training ----------------------------------------------------------------
+    def fit(self, features: np.ndarray, throughputs: np.ndarray) -> "GradientBoostedTrees":
+        """Fit the model.  ``throughputs`` are scores where larger is better
+        (the tuner passes normalised 1/time)."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(throughputs, dtype=np.float64)
+        self.trees = []
+        self.base_score = float(np.mean(y)) if len(y) else 0.0
+        if len(y) < 4:
+            return self
+        pred = np.full(len(y), self.base_score)
+        for _ in range(self.num_rounds):
+            gradient = self._negative_gradient(y, pred)
+            tree = RegressionTree(max_depth=self.max_depth)
+            tree.fit(x, gradient)
+            update = tree.predict(x)
+            pred += self.learning_rate * update
+            self.trees.append(tree)
+        return self
+
+    def _negative_gradient(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        if self.loss == "reg":
+            return y - pred
+        # Pairwise logistic rank loss (LambdaRank-style, unweighted): for a
+        # pair (i, j) with y_i > y_j the loss is log(1 + exp(pred_j - pred_i)).
+        grad = np.zeros_like(pred)
+        n = len(y)
+        for i in range(n):
+            for _ in range(self.num_pairs):
+                j = int(self.rng.integers(0, n))
+                if i == j or y[i] == y[j]:
+                    continue
+                if y[i] > y[j]:
+                    better, worse = i, j
+                else:
+                    better, worse = j, i
+                margin = pred[better] - pred[worse]
+                weight = 1.0 / (1.0 + math.exp(margin))
+                grad[better] += weight
+                grad[worse] -= weight
+        return grad
+
+    # -- inference ----------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        pred = np.full(len(x), self.base_score)
+        for tree in self.trees:
+            pred += self.learning_rate * tree.predict(x)
+        return pred
+
+
+class NeuralCostModel:
+    """A small MLP trained on loop-program features (TreeRNN stand-in)."""
+
+    def __init__(self, hidden: int = 32, epochs: int = 150, learning_rate: float = 1e-2,
+                 seed: int = 0):
+        self.hidden = hidden
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.rng = np.random.default_rng(seed)
+        self._weights: Optional[Tuple[np.ndarray, ...]] = None
+        self._norm: Tuple[np.ndarray, np.ndarray] = (np.zeros(1), np.ones(1))
+
+    def fit(self, features: np.ndarray, throughputs: np.ndarray) -> "NeuralCostModel":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(throughputs, dtype=np.float64)
+        if len(y) < 4:
+            self._weights = None
+            return self
+        mean, std = x.mean(axis=0), x.std(axis=0) + 1e-8
+        self._norm = (mean, std)
+        xn = (x - mean) / std
+        n_features = x.shape[1]
+        w1 = self.rng.normal(0, 0.3, size=(n_features, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = self.rng.normal(0, 0.3, size=(self.hidden, 1))
+        b2 = np.zeros(1)
+        lr = self.learning_rate
+        target = (y - y.mean()) / (y.std() + 1e-8)
+        for _ in range(self.epochs):
+            hidden = np.tanh(xn @ w1 + b1)
+            out = (hidden @ w2 + b2).ravel()
+            err = out - target
+            grad_out = 2 * err[:, None] / len(y)
+            grad_w2 = hidden.T @ grad_out
+            grad_b2 = grad_out.sum(axis=0)
+            grad_hidden = grad_out @ w2.T * (1 - hidden ** 2)
+            grad_w1 = xn.T @ grad_hidden
+            grad_b1 = grad_hidden.sum(axis=0)
+            w1 -= lr * grad_w1
+            b1 -= lr * grad_b1
+            w2 -= lr * grad_w2
+            b2 -= lr * grad_b2
+        self._weights = (w1, b1, w2, b2)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if self._weights is None:
+            return np.zeros(len(x))
+        mean, std = self._norm
+        xn = (x - mean) / std
+        w1, b1, w2, b2 = self._weights
+        hidden = np.tanh(xn @ w1 + b1)
+        return (hidden @ w2 + b2).ravel()
+
+
+def rank_correlation(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Spearman rank correlation between predicted and actual scores."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if len(predicted) < 2:
+        return 0.0
+    pred_rank = np.argsort(np.argsort(predicted)).astype(np.float64)
+    act_rank = np.argsort(np.argsort(actual)).astype(np.float64)
+    pred_rank -= pred_rank.mean()
+    act_rank -= act_rank.mean()
+    denom = np.sqrt((pred_rank ** 2).sum() * (act_rank ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((pred_rank * act_rank).sum() / denom)

@@ -1,0 +1,88 @@
+"""Tuning log database (the "database" box in Figure 11).
+
+Records every measurement so that (a) the cost model can be warm-started from
+the history of related workloads, and (b) the graph compiler can pick the
+best known configuration for each operator workload when building a model
+end-to-end.  Records can be persisted to a JSON-lines file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TuningLogEntry", "TuningDatabase"]
+
+
+@dataclass
+class TuningLogEntry:
+    """One (workload, target, config, time) record."""
+
+    task_name: str
+    target_name: str
+    config_index: int
+    config_dict: Dict[str, object]
+    mean_time: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "task": self.task_name,
+            "target": self.target_name,
+            "config_index": self.config_index,
+            "config": self.config_dict,
+            "time": self.mean_time,
+        })
+
+    @staticmethod
+    def from_json(line: str) -> "TuningLogEntry":
+        obj = json.loads(line)
+        return TuningLogEntry(obj["task"], obj["target"], obj["config_index"],
+                              obj["config"], obj["time"])
+
+
+class TuningDatabase:
+    """In-memory + optional on-disk store of tuning results."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._entries: List[TuningLogEntry] = []
+        if path and os.path.exists(path):
+            self.load(path)
+
+    def add(self, entry: TuningLogEntry) -> None:
+        self._entries.append(entry)
+        if self.path:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(entry.to_json() + "\n")
+
+    def record(self, task, config, mean_time: float) -> TuningLogEntry:
+        entry = TuningLogEntry(task.name, task.target.name, config.index,
+                               config.to_dict(), mean_time)
+        self.add(entry)
+        return entry
+
+    def load(self, path: str) -> None:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self._entries.append(TuningLogEntry.from_json(line))
+
+    def best(self, task_name: str, target_name: Optional[str] = None
+             ) -> Optional[TuningLogEntry]:
+        candidates = [e for e in self._entries if e.task_name == task_name
+                      and (target_name is None or e.target_name == target_name)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.mean_time)
+
+    def entries_for(self, task_name: str) -> List[TuningLogEntry]:
+        return [e for e in self._entries if e.task_name == task_name]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

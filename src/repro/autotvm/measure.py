@@ -1,0 +1,103 @@
+"""Measurement of candidate configurations on (simulated) devices.
+
+The paper measures candidates on physical boards reached through an RPC-based
+device pool (Section 5.4).  Here measurements run against the simulated
+hardware models, optionally routed through the in-process RPC tracker/server
+infrastructure in :mod:`repro.runtime.rpc` so the same code path — compile,
+request a device, run remotely, collect timings — is exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import tir
+from ..hardware.base import MeasureResult
+from .space import ConfigEntity
+from .task import Task
+
+__all__ = ["MeasureInput", "MeasureResultRecord", "LocalMeasurer", "RPCMeasurer"]
+
+
+@dataclass
+class MeasureInput:
+    """A (task, config) pair submitted for measurement."""
+
+    task: Task
+    config: ConfigEntity
+
+
+@dataclass
+class MeasureResultRecord:
+    """Outcome of measuring one configuration."""
+
+    input: MeasureInput
+    mean_time: float
+    features: Optional[object] = None
+    error: Optional[str] = None
+
+    @property
+    def valid(self) -> bool:
+        return self.error is None and math.isfinite(self.mean_time)
+
+    @property
+    def gflops(self) -> float:
+        if not self.valid or self.mean_time <= 0:
+            return 0.0
+        return self.input.task.flop / self.mean_time / 1e9
+
+
+class LocalMeasurer:
+    """Lower and measure configurations directly against the target's model."""
+
+    def __init__(self, number: int = 3, seed: int = 0):
+        self.number = number
+        self.seed = seed
+        self.num_measured = 0
+
+    def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResultRecord]:
+        records: List[MeasureResultRecord] = []
+        for inp in inputs:
+            records.append(self._measure_one(inp))
+            self.num_measured += 1
+        return records
+
+    def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
+        try:
+            func = inp.task.lower(inp.config)
+            features = tir.extract_features(func)
+        except Exception as exc:
+            return MeasureResultRecord(inp, float("inf"), None, error=str(exc))
+        model = inp.task.target.model
+        result: MeasureResult = model.measure(features, number=self.number)
+        return MeasureResultRecord(inp, result.mean_time, features, error=result.error)
+
+
+class RPCMeasurer(LocalMeasurer):
+    """Measure through the RPC device pool (same protocol as the paper's
+    distributed tracker, Section 5.4)."""
+
+    def __init__(self, tracker, device_key: str, number: int = 3, seed: int = 0):
+        super().__init__(number=number, seed=seed)
+        self.tracker = tracker
+        self.device_key = device_key
+
+    def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
+        try:
+            func = inp.task.lower(inp.config)
+            features = tir.extract_features(func)
+        except Exception as exc:
+            return MeasureResultRecord(inp, float("inf"), None, error=str(exc))
+        session = self.tracker.request(self.device_key)
+        try:
+            times = session.run_timed(features, number=self.number)
+        except Exception as exc:
+            return MeasureResultRecord(inp, float("inf"), features, error=str(exc))
+        finally:
+            session.release()
+        mean = float(np.mean(times)) if times else float("inf")
+        return MeasureResultRecord(inp, mean, features)

@@ -1,0 +1,207 @@
+"""Schedule configuration space (paper Section 5.1).
+
+A schedule template declares *knobs* — tile sizes, unroll factors, whether to
+vectorize, how many virtual threads to use — through the
+``define_split`` / ``define_knob`` API.  The cross product of all knob
+candidates forms the configuration space the automated optimizer explores
+(billions of configurations for real workloads; here the spaces are smaller
+but share the same structure).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["SplitEntity", "OtherEntity", "ConfigSpace", "ConfigEntity"]
+
+
+def _factorizations(extent: int, parts: int, max_candidates: int = 64) -> List[Tuple[int, ...]]:
+    """All ways to write ``extent`` as an ordered product of ``parts`` factors."""
+    def divisors(n: int) -> List[int]:
+        return [d for d in range(1, n + 1) if n % d == 0]
+
+    results: List[Tuple[int, ...]] = []
+
+    def recurse(remaining: int, chosen: Tuple[int, ...]) -> None:
+        if len(chosen) == parts - 1:
+            results.append(chosen + (remaining,))
+            return
+        for d in divisors(remaining):
+            recurse(remaining // d, chosen + (d,))
+
+    recurse(extent, ())
+    if len(results) > max_candidates:
+        # Deterministically thin the list while keeping the extremes.
+        step = len(results) / max_candidates
+        results = [results[int(i * step)] for i in range(max_candidates)]
+    return results
+
+
+class SplitEntity:
+    """A concrete loop-split choice: the extents of each produced sub-loop."""
+
+    def __init__(self, sizes: Sequence[int]):
+        self.size = [int(s) for s in sizes]
+
+    def apply(self, stage, ivar, prefix: str = "") -> List[object]:
+        """Apply this split to a stage's iter var, returning the new loops
+        from outermost to innermost."""
+        loops = []
+        current = ivar
+        # Split from the innermost factor outwards.
+        for factor in reversed(self.size[1:]):
+            outer, inner = stage.split(current, factor=factor)
+            loops.insert(0, inner)
+            current = outer
+        loops.insert(0, current)
+        return loops
+
+    def __repr__(self) -> str:
+        return f"Split({self.size})"
+
+
+class OtherEntity:
+    """A concrete non-split knob value."""
+
+    def __init__(self, value: object):
+        self.val = value
+
+    def __repr__(self) -> str:
+        return f"Knob({self.val})"
+
+
+class ConfigSpace:
+    """The set of all configurations a template exposes.
+
+    Calling ``define_split`` / ``define_knob`` registers candidates the first
+    time a knob name is seen and returns the *default* entity (the first
+    candidate), so a template can be executed directly against the space to
+    discover its knobs.
+    """
+
+    def __init__(self) -> None:
+        self._candidates: Dict[str, List[object]] = {}
+        self.is_fallback = False
+
+    # -- definition API ---------------------------------------------------------
+    def define_split(self, name: str, extent: int, num_outputs: int = 2,
+                     max_candidates: int = 64,
+                     candidate_sizes: Optional[Sequence[Sequence[int]]] = None) -> SplitEntity:
+        if name not in self._candidates:
+            if candidate_sizes is not None:
+                entities = [SplitEntity(s) for s in candidate_sizes]
+            else:
+                entities = [SplitEntity(s)
+                            for s in _factorizations(int(extent), num_outputs,
+                                                     max_candidates)]
+            if not entities:
+                entities = [SplitEntity([int(extent)] + [1] * (num_outputs - 1))]
+            self._candidates[name] = entities
+        return self[name]
+
+    def define_knob(self, name: str, candidates: Sequence[object]) -> OtherEntity:
+        if name not in self._candidates:
+            self._candidates[name] = [OtherEntity(v) for v in candidates]
+        return self[name]
+
+    # -- access -------------------------------------------------------------------
+    def __getitem__(self, name: str) -> object:
+        return self._candidates[name][0]
+
+    @property
+    def knob_names(self) -> List[str]:
+        return list(self._candidates.keys())
+
+    @property
+    def dims(self) -> List[int]:
+        return [len(v) for v in self._candidates.values()]
+
+    def __len__(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+    def get(self, index: int) -> "ConfigEntity":
+        """Return the configuration at a flat index (mixed-radix decode)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"Config index {index} out of range [0, {len(self)})")
+        choices: Dict[str, object] = {}
+        remaining = index
+        for name, candidates in self._candidates.items():
+            remaining, choice = divmod(remaining, len(candidates))
+            choices[name] = candidates[choice]
+        return ConfigEntity(self, index, choices)
+
+    def index_of(self, choices: Dict[str, int]) -> int:
+        """Flat index from per-knob candidate indices."""
+        index = 0
+        multiplier = 1
+        for name, candidates in self._candidates.items():
+            index += choices.get(name, 0) * multiplier
+            multiplier *= len(candidates)
+        return index
+
+    def knob_indices(self, index: int) -> List[int]:
+        """Per-knob candidate indices for a flat index."""
+        out: List[int] = []
+        remaining = index
+        for candidates in self._candidates.values():
+            remaining, choice = divmod(remaining, len(candidates))
+            out.append(choice)
+        return out
+
+    def sample(self, count: int, rng: Optional[random.Random] = None) -> List["ConfigEntity"]:
+        rng = rng or random.Random(0)
+        total = len(self)
+        if count >= total:
+            return [self.get(i) for i in range(total)]
+        indices = rng.sample(range(total), count)
+        return [self.get(i) for i in indices]
+
+    def __iter__(self) -> Iterator["ConfigEntity"]:
+        for i in range(len(self)):
+            yield self.get(i)
+
+    def __repr__(self) -> str:
+        knobs = ", ".join(f"{k}({len(v)})" for k, v in self._candidates.items())
+        return f"ConfigSpace(size={len(self)}, knobs=[{knobs}])"
+
+
+class ConfigEntity(ConfigSpace):
+    """One concrete configuration drawn from a :class:`ConfigSpace`."""
+
+    def __init__(self, space: ConfigSpace, index: int, choices: Dict[str, object]):
+        super().__init__()
+        self._candidates = space._candidates
+        self.space = space
+        self.index = index
+        self._choices = choices
+
+    def define_split(self, name: str, extent: int, num_outputs: int = 2,
+                     max_candidates: int = 64,
+                     candidate_sizes: Optional[Sequence[Sequence[int]]] = None):
+        return self[name]
+
+    def define_knob(self, name: str, candidates: Sequence[object]):
+        return self[name]
+
+    def __getitem__(self, name: str) -> object:
+        if name in self._choices:
+            return self._choices[name]
+        return self._candidates[name][0]
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for name, entity in self._choices.items():
+            if isinstance(entity, SplitEntity):
+                out[name] = list(entity.size)
+            else:
+                out[name] = entity.val
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items())
+        return f"Config(#{self.index}: {parts})"

@@ -1,0 +1,79 @@
+"""Tuning tasks: a tensor operator workload + schedule template + target.
+
+A :class:`Task` ties together a schedule template (a function that declares
+knobs on a :class:`~repro.autotvm.space.ConfigSpace` and returns a schedule),
+the workload arguments, and the hardware target whose simulated device will
+measure candidate configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import te, tir
+from ..hardware.target import Target
+from .space import ConfigEntity, ConfigSpace
+
+__all__ = ["Task", "create_task", "register_template", "get_template", "TEMPLATE_REGISTRY"]
+
+#: Global registry of named schedule templates.
+TEMPLATE_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_template(name: str, func: Optional[Callable] = None):
+    """Register a schedule template under ``name`` (usable as a decorator)."""
+    def _register(f: Callable) -> Callable:
+        TEMPLATE_REGISTRY[name] = f
+        return f
+
+    if func is not None:
+        return _register(func)
+    return _register
+
+
+def get_template(name: str) -> Callable:
+    if name not in TEMPLATE_REGISTRY:
+        raise KeyError(f"No schedule template registered under {name!r}")
+    return TEMPLATE_REGISTRY[name]
+
+
+class Task:
+    """One operator-tuning problem."""
+
+    def __init__(self, name: str, template: Callable, args: Tuple, target: Target):
+        self.name = name
+        self.template = template
+        self.args = tuple(args)
+        self.target = target
+        self.config_space = ConfigSpace()
+        # Execute the template once against the bare space so every knob is
+        # registered with its candidates.
+        self.template(self.config_space, *self.args)
+
+    # ------------------------------------------------------------------ api
+    @property
+    def flop(self) -> float:
+        """Total floating point work of the default-schedule program."""
+        func = self.lower(self.config_space.get(0))
+        features = tir.extract_features(func)
+        return features.total_flops
+
+    def instantiate(self, config: ConfigEntity) -> Tuple[te.Schedule, List[te.Tensor]]:
+        """Build the schedule described by ``config``."""
+        return self.template(config, *self.args)
+
+    def lower(self, config: ConfigEntity) -> tir.LoweredFunc:
+        """Instantiate and lower one configuration."""
+        schedule, tensors = self.instantiate(config)
+        return tir.lower(schedule, tensors, name=f"{self.name}_c{config.index}")
+
+    def __repr__(self) -> str:
+        return (f"Task({self.name}, target={self.target.name}, "
+                f"space={len(self.config_space)})")
+
+
+def create_task(name: str, template: Callable, args: Sequence, target: Target) -> Task:
+    """Create a tuning task from a template callable or registered name."""
+    if isinstance(template, str):
+        template = get_template(template)
+    return Task(name, template, tuple(args), target)

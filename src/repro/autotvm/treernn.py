@@ -1,0 +1,269 @@
+"""TreeRNN cost model (paper Section 5.2, Figure 13, right-hand path).
+
+The paper evaluates two cost-model designs: gradient-boosted trees over
+engineered loop-program features (the default) and a neural model that
+"directly summarizes the AST" of the lowered loop program with a TreeRNN
+(Tai et al.).  The paper found the two to have similar predictive quality,
+with the tree-boosting model roughly twice as fast at prediction time, which
+is why it is the default.  This module reproduces the TreeRNN side so that
+the design comparison (``benchmarks/bench_ablation_cost_models.py``) can be
+regenerated.
+
+The model is a child-sum recursive encoder over the *statement-level* AST of
+a :class:`~repro.tir.stmt.LoweredFunc`:
+
+* every statement node gets a type embedding plus a small numeric feature
+  vector (log loop extent, annotation one-hots, bytes stored);
+* a child-sum ``tanh`` cell combines a node's embedding with the sum of its
+  children's hidden states;
+* a linear read-out on the root hidden state predicts a throughput score
+  (larger = faster), the same target the gradient-boosted model is trained
+  on.
+
+Training uses full reverse-mode differentiation through the recursion
+(implemented directly on NumPy arrays), with a squared-error objective on
+normalised throughputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tir.stmt import (
+    Allocate,
+    AttrStmt,
+    Barrier,
+    BufferStore,
+    DepPop,
+    DepPush,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    IntrinsicStmt,
+    LoweredFunc,
+    SeqStmt,
+    Stmt,
+    dtype_bytes,
+)
+
+__all__ = ["ASTNode", "TreeRNNCostModel", "build_ast"]
+
+#: statement categories the encoder distinguishes
+_NODE_TYPES = [
+    "root", "for_serial", "for_parallel", "for_vectorized", "for_unrolled",
+    "for_thread", "for_vthread", "store", "intrinsic", "barrier", "dep_token",
+    "branch", "allocate", "other",
+]
+_TYPE_INDEX = {name: i for i, name in enumerate(_NODE_TYPES)}
+#: numeric annotations attached to every AST node
+_NUM_FEATURES = 4
+
+
+@dataclass
+class ASTNode:
+    """One node of the simplified statement AST fed to the TreeRNN."""
+
+    kind: str
+    features: np.ndarray
+    children: List["ASTNode"] = field(default_factory=list)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+def _log1(value: float) -> float:
+    return math.log(max(float(value), 0.0) + 1.0)
+
+
+def _for_kind_name(loop: For) -> str:
+    mapping = {
+        ForKind.SERIAL: "for_serial",
+        ForKind.PARALLEL: "for_parallel",
+        ForKind.VECTORIZED: "for_vectorized",
+        ForKind.UNROLLED: "for_unrolled",
+        ForKind.THREAD_BINDING: "for_thread",
+        ForKind.VTHREAD: "for_vthread",
+        ForKind.TENSORIZED: "for_unrolled",
+    }
+    return mapping.get(loop.kind, "for_serial")
+
+
+def build_ast(func_or_stmt) -> ASTNode:
+    """Convert a lowered function (or statement) into the simplified AST."""
+    stmt = func_or_stmt.body if isinstance(func_or_stmt, LoweredFunc) else func_or_stmt
+    root = ASTNode("root", np.zeros(_NUM_FEATURES))
+    root.children.extend(_convert(stmt))
+    return root
+
+
+def _convert(stmt: Stmt) -> List[ASTNode]:
+    if isinstance(stmt, SeqStmt):
+        nodes: List[ASTNode] = []
+        for sub in stmt.stmts:
+            nodes.extend(_convert(sub))
+        return nodes
+    if isinstance(stmt, For):
+        try:
+            extent = float(stmt.extent_value())
+        except ValueError:
+            extent = 1.0
+        features = np.array([_log1(extent), 1.0, 0.0, 0.0])
+        node = ASTNode(_for_kind_name(stmt), features)
+        node.children.extend(_convert(stmt.body))
+        return [node]
+    if isinstance(stmt, IfThenElse):
+        node = ASTNode("branch", np.zeros(_NUM_FEATURES))
+        node.children.extend(_convert(stmt.then_body))
+        if stmt.else_body is not None:
+            node.children.extend(_convert(stmt.else_body))
+        return [node]
+    if isinstance(stmt, (Allocate, AttrStmt)):
+        if isinstance(stmt, Allocate):
+            features = np.array([_log1(stmt.buffer.size_bytes), 0.0, 1.0, 0.0])
+            node = ASTNode("allocate", features)
+        else:
+            node = ASTNode("other", np.zeros(_NUM_FEATURES))
+        node.children.extend(_convert(stmt.body))
+        return [node]
+    if isinstance(stmt, BufferStore):
+        elem = dtype_bytes(stmt.buffer.dtype)
+        is_onchip = 0.0 if stmt.buffer.scope == "global" else 1.0
+        features = np.array([_log1(elem), 0.0, 0.0, is_onchip])
+        return [ASTNode("store", features)]
+    if isinstance(stmt, IntrinsicStmt):
+        features = np.array([_log1(stmt.intrin.flop), 0.0, 0.0, 1.0])
+        return [ASTNode("intrinsic", features)]
+    if isinstance(stmt, Barrier):
+        return [ASTNode("barrier", np.zeros(_NUM_FEATURES))]
+    if isinstance(stmt, (DepPush, DepPop)):
+        return [ASTNode("dep_token", np.zeros(_NUM_FEATURES))]
+    if isinstance(stmt, Evaluate):
+        return [ASTNode("other", np.zeros(_NUM_FEATURES))]
+    return [ASTNode("other", np.zeros(_NUM_FEATURES))]
+
+
+class TreeRNNCostModel:
+    """Child-sum recursive network over lowered-program ASTs.
+
+    The public interface mirrors the other cost models: ``fit`` on a list of
+    programs with measured throughputs, ``predict`` throughput scores for new
+    programs (relative order is what the schedule explorer consumes).
+    """
+
+    def __init__(self, hidden: int = 24, epochs: int = 60,
+                 learning_rate: float = 5e-3, seed: int = 0):
+        self.hidden = hidden
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.rng = np.random.default_rng(seed)
+        scale = 1.0 / math.sqrt(hidden)
+        self.embed = self.rng.normal(0.0, scale, size=(len(_NODE_TYPES), hidden))
+        self.w_num = self.rng.normal(0.0, scale, size=(_NUM_FEATURES, hidden))
+        self.u_child = self.rng.normal(0.0, scale, size=(hidden, hidden))
+        self.v_out = self.rng.normal(0.0, scale, size=hidden)
+        self.b_out = 0.0
+        self._target_norm: Tuple[float, float] = (0.0, 1.0)
+        self._trained = False
+
+    # ------------------------------------------------------------------ forward
+    def _encode(self, node: ASTNode,
+                trace: Optional[List[Tuple[ASTNode, np.ndarray, np.ndarray, np.ndarray]]] = None
+                ) -> np.ndarray:
+        """Bottom-up encoding; optionally record (node, child_sum, pre, h)."""
+        child_sum = np.zeros(self.hidden)
+        for child in node.children:
+            child_sum = child_sum + self._encode(child, trace)
+        pre = (self.embed[_TYPE_INDEX[node.kind]]
+               + node.features @ self.w_num
+               + child_sum @ self.u_child)
+        hidden = np.tanh(pre)
+        if trace is not None:
+            trace.append((node, child_sum, pre, hidden))
+        return hidden
+
+    def _score(self, root: ASTNode) -> float:
+        return float(self._encode(root) @ self.v_out + self.b_out)
+
+    # ------------------------------------------------------------------ training
+    def fit(self, programs: Sequence[object], throughputs: Sequence[float]
+            ) -> "TreeRNNCostModel":
+        """Train on (lowered program, throughput) pairs.
+
+        ``programs`` may be :class:`LoweredFunc`, statements, or pre-built
+        :class:`ASTNode` roots.  Throughputs are "larger is better" scores
+        (the tuner passes normalised ``1 / time``).
+        """
+        roots = [p if isinstance(p, ASTNode) else build_ast(p) for p in programs]
+        targets = np.asarray(list(throughputs), dtype=np.float64)
+        if len(roots) < 2:
+            return self
+        mean, std = float(targets.mean()), float(targets.std() + 1e-8)
+        self._target_norm = (mean, std)
+        normalised = (targets - mean) / std
+
+        lr = self.learning_rate
+        for _ in range(self.epochs):
+            order = self.rng.permutation(len(roots))
+            for index in order:
+                self._sgd_step(roots[index], float(normalised[index]), lr)
+        self._trained = True
+        return self
+
+    def _sgd_step(self, root: ASTNode, target: float, lr: float) -> None:
+        trace: List[Tuple[ASTNode, np.ndarray, np.ndarray, np.ndarray]] = []
+        root_hidden = self._encode(root, trace)
+        prediction = float(root_hidden @ self.v_out + self.b_out)
+        error = prediction - target
+
+        grad_v = error * root_hidden
+        grad_b = error
+        grad_embed = np.zeros_like(self.embed)
+        grad_wnum = np.zeros_like(self.w_num)
+        grad_u = np.zeros_like(self.u_child)
+
+        # Reverse-mode through the recursion: the trace is in post-order, so
+        # walking it backwards visits parents before their children.
+        grad_h: Dict[int, np.ndarray] = {id(root): error * self.v_out}
+        for node, child_sum, pre, _hidden in reversed(trace):
+            upstream = grad_h.pop(id(node), None)
+            if upstream is None:
+                continue
+            grad_pre = upstream * (1.0 - np.tanh(pre) ** 2)
+            grad_embed[_TYPE_INDEX[node.kind]] += grad_pre
+            grad_wnum += np.outer(node.features, grad_pre)
+            grad_u += np.outer(child_sum, grad_pre)
+            child_grad = self.u_child @ grad_pre
+            for child in node.children:
+                if id(child) in grad_h:
+                    grad_h[id(child)] = grad_h[id(child)] + child_grad
+                else:
+                    grad_h[id(child)] = child_grad.copy()
+
+        clip = 5.0
+        for grad in (grad_embed, grad_wnum, grad_u, grad_v):
+            np.clip(grad, -clip, clip, out=grad)
+        self.embed -= lr * grad_embed
+        self.w_num -= lr * grad_wnum
+        self.u_child -= lr * grad_u
+        self.v_out -= lr * grad_v
+        self.b_out -= lr * float(np.clip(grad_b, -clip, clip))
+
+    # ------------------------------------------------------------------ inference
+    def predict(self, programs: Sequence[object]) -> np.ndarray:
+        """Predict throughput scores (larger = faster) for lowered programs."""
+        roots = [p if isinstance(p, ASTNode) else build_ast(p) for p in programs]
+        raw = np.array([self._score(root) for root in roots])
+        if not self._trained:
+            return raw
+        mean, std = self._target_norm
+        return raw * std + mean

@@ -1,0 +1,324 @@
+"""Schedule explorers (paper Section 5.3, Figure 12, Table 1).
+
+Three tuners are implemented, matching the automation methods the paper
+compares:
+
+* :class:`RandomTuner` — blackbox random search.
+* :class:`GATuner` — blackbox genetic algorithm (no cost model).
+* :class:`ModelBasedTuner` — the paper's approach: an ML cost model
+  (gradient-boosted trees with a rank objective by default) guides a parallel
+  simulated-annealing explorer; the model is re-fitted periodically from the
+  measurements collected so far, and exploration state persists across model
+  updates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cost_model import GradientBoostedTrees, NeuralCostModel
+from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord
+from .space import ConfigEntity
+from .task import Task
+
+__all__ = ["TuningRecord", "Tuner", "RandomTuner", "GridSearchTuner", "GATuner",
+           "ModelBasedTuner", "SimulatedAnnealingOptimizer"]
+
+
+@dataclass
+class TuningRecord:
+    """History entry kept by every tuner."""
+
+    config_index: int
+    mean_time: float
+    trial: int
+
+    @property
+    def valid(self) -> bool:
+        return math.isfinite(self.mean_time)
+
+
+class Tuner:
+    """Base class: drives measurement batches and tracks the best config."""
+
+    def __init__(self, task: Task, seed: int = 0):
+        self.task = task
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.records: List[TuningRecord] = []
+        self.best_config: Optional[ConfigEntity] = None
+        self.best_time: float = float("inf")
+        self._visited: set = set()
+
+    # -- subclass interface ------------------------------------------------------
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        raise NotImplementedError
+
+    def update(self, inputs: Sequence[MeasureInput],
+               results: Sequence[MeasureResultRecord]) -> None:
+        """Hook for model-based tuners to learn from new measurements."""
+
+    # -- main loop ----------------------------------------------------------------
+    def tune(self, n_trial: int, measurer: Optional[LocalMeasurer] = None,
+             batch_size: int = 8,
+             callback: Optional[Callable[["Tuner", List[MeasureResultRecord]], None]] = None
+             ) -> ConfigEntity:
+        measurer = measurer or LocalMeasurer()
+        trials_done = 0
+        space_size = len(self.task.config_space)
+        n_trial = min(n_trial, space_size)
+        while trials_done < n_trial:
+            batch = self.next_batch(min(batch_size, n_trial - trials_done))
+            if not batch:
+                break
+            inputs = [MeasureInput(self.task, cfg) for cfg in batch]
+            results = measurer.measure(inputs)
+            for inp, res in zip(inputs, results):
+                time = res.mean_time if res.valid else float("inf")
+                self.records.append(TuningRecord(inp.config.index, time, trials_done))
+                self._visited.add(inp.config.index)
+                if time < self.best_time:
+                    self.best_time = time
+                    self.best_config = inp.config
+                trials_done += 1
+            self.update(inputs, results)
+            if callback is not None:
+                callback(self, results)
+        if self.best_config is None:
+            self.best_config = self.task.config_space.get(0)
+        return self.best_config
+
+    # -- helpers -------------------------------------------------------------------
+    def _random_unvisited(self, count: int) -> List[ConfigEntity]:
+        space = self.task.config_space
+        total = len(space)
+        out: List[ConfigEntity] = []
+        attempts = 0
+        while len(out) < count and attempts < count * 50 \
+                and len(self._visited) + len(out) < total:
+            index = self.rng.randrange(total)
+            if index in self._visited or any(c.index == index for c in out):
+                attempts += 1
+                continue
+            out.append(space.get(index))
+        return out
+
+    def best_history(self) -> List[float]:
+        """Best time seen so far, per trial (for Figure 12-style curves)."""
+        best = float("inf")
+        history = []
+        for record in self.records:
+            best = min(best, record.mean_time)
+            history.append(best)
+        return history
+
+
+class RandomTuner(Tuner):
+    """Uniform random exploration of the configuration space."""
+
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        return self._random_unvisited(batch_size)
+
+
+class GridSearchTuner(Tuner):
+    """Enumerate the space in index order."""
+
+    def __init__(self, task: Task, seed: int = 0):
+        super().__init__(task, seed)
+        self._cursor = 0
+
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        space = self.task.config_space
+        out = []
+        while self._cursor < len(space) and len(out) < batch_size:
+            out.append(space.get(self._cursor))
+            self._cursor += 1
+        return out
+
+
+class GATuner(Tuner):
+    """Blackbox genetic algorithm over knob indices (no cost model)."""
+
+    def __init__(self, task: Task, population_size: int = 16, elite: int = 4,
+                 mutation_prob: float = 0.1, seed: int = 0):
+        super().__init__(task, seed)
+        self.population_size = population_size
+        self.elite = elite
+        self.mutation_prob = mutation_prob
+        self._population: List[Tuple[int, float]] = []   # (config index, time)
+        self._pending: List[int] = []
+
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        space = self.task.config_space
+        if len(self._visited) >= len(space):
+            return []
+        if not self._population:
+            return self._random_unvisited(batch_size)
+        # Breed new candidates from the measured population.
+        ranked = sorted(self._population, key=lambda item: item[1])
+        parents = [idx for idx, _ in ranked[:max(self.elite, 2)]]
+        children: List[ConfigEntity] = []
+        dims = space.dims
+        attempts = 0
+        while len(children) < batch_size and attempts < batch_size * 50:
+            attempts += 1
+            mother = space.knob_indices(self.rng.choice(parents))
+            father = space.knob_indices(self.rng.choice(parents))
+            cross = [m if self.rng.random() < 0.5 else f
+                     for m, f in zip(mother, father)]
+            child = [self.rng.randrange(dims[i]) if self.rng.random() < self.mutation_prob
+                     else v for i, v in enumerate(cross)]
+            index = space.index_of({name: child[i]
+                                    for i, name in enumerate(space.knob_names)})
+            if index in self._visited or any(c.index == index for c in children):
+                continue
+            children.append(space.get(index))
+        if len(children) < batch_size:
+            children.extend(self._random_unvisited(batch_size - len(children)))
+        return children
+
+    def update(self, inputs, results) -> None:
+        for inp, res in zip(inputs, results):
+            time = res.mean_time if res.valid else float("inf")
+            if math.isfinite(time):
+                self._population.append((inp.config.index, time))
+        self._population = sorted(self._population, key=lambda item: item[1])[
+            :self.population_size]
+
+
+class SimulatedAnnealingOptimizer:
+    """Parallel simulated annealing over the configuration space, guided by a
+    cost-model scoring function (higher score = predicted faster)."""
+
+    def __init__(self, task: Task, parallel_chains: int = 16, steps: int = 64,
+                 temperature: float = 1.0, seed: int = 0):
+        self.task = task
+        self.parallel_chains = parallel_chains
+        self.steps = steps
+        self.temperature = temperature
+        self.rng = random.Random(seed)
+        self._states: List[int] = []
+
+    def _neighbor(self, index: int) -> int:
+        space = self.task.config_space
+        knobs = space.knob_indices(index)
+        dims = space.dims
+        knob = self.rng.randrange(len(knobs))
+        if dims[knob] > 1:
+            move = self.rng.choice([-1, 1])
+            knobs[knob] = (knobs[knob] + move) % dims[knob]
+        return space.index_of({name: knobs[i]
+                               for i, name in enumerate(space.knob_names)})
+
+    def find_maximums(self, score_fn: Callable[[List[int]], np.ndarray],
+                      num_best: int, exclude: set,
+                      seeds: Optional[List[int]] = None) -> List[int]:
+        space = self.task.config_space
+        total = len(space)
+        if not self._states:
+            self._states = [self.rng.randrange(total) for _ in range(self.parallel_chains)]
+        if seeds:
+            # Restart part of the chains from the most promising known
+            # configurations so the walk explores their neighbourhoods
+            # (exploration state still persists across model updates).
+            for i, seed in enumerate(seeds[:len(self._states) // 2]):
+                self._states[i] = seed
+        scores = score_fn(self._states)
+        heap: Dict[int, float] = {}
+        temperature = self.temperature
+        for _ in range(self.steps):
+            proposals = [self._neighbor(state) for state in self._states]
+            new_scores = score_fn(proposals)
+            for i in range(len(self._states)):
+                delta = new_scores[i] - scores[i]
+                if delta >= 0 or self.rng.random() < math.exp(delta / max(temperature, 1e-6)):
+                    self._states[i] = proposals[i]
+                    scores[i] = new_scores[i]
+                heap[self._states[i]] = max(heap.get(self._states[i], -1e30), scores[i])
+            temperature *= 0.95
+        candidates = [idx for idx, _ in sorted(heap.items(), key=lambda kv: -kv[1])
+                      if idx not in exclude]
+        return candidates[:num_best]
+
+
+class ModelBasedTuner(Tuner):
+    """The paper's ML-guided explorer (Figure 11).
+
+    Measured configurations are featurised from their lowered loop programs;
+    a cost model is trained on (features, throughput) and a simulated
+    annealing search over the model's predictions proposes the next batch of
+    candidates to measure on the device.
+    """
+
+    def __init__(self, task: Task, cost_model: Optional[object] = None,
+                 plan_size: int = 16, sa_steps: int = 64, seed: int = 0,
+                 model_kind: str = "gbt"):
+        super().__init__(task, seed)
+        if cost_model is None:
+            cost_model = (GradientBoostedTrees(seed=seed) if model_kind == "gbt"
+                          else NeuralCostModel(seed=seed))
+        self.cost_model = cost_model
+        self.plan_size = plan_size
+        self.optimizer = SimulatedAnnealingOptimizer(task, steps=sa_steps, seed=seed)
+        self._train_features: List[np.ndarray] = []
+        self._train_throughput: List[float] = []
+        self._feature_cache: Dict[int, np.ndarray] = {}
+        self._trained = False
+
+    # -- featurisation ------------------------------------------------------------
+    def _features_of(self, index: int) -> np.ndarray:
+        if index not in self._feature_cache:
+            from .. import tir
+
+            config = self.task.config_space.get(index)
+            try:
+                func = self.task.lower(config)
+                vector = np.asarray(tir.extract_features(func).to_vector())
+            except Exception:
+                vector = np.zeros(len(next(iter(self._feature_cache.values()), np.zeros(42))))
+            self._feature_cache[index] = vector
+        return self._feature_cache[index]
+
+    def _score(self, indices: List[int]) -> np.ndarray:
+        if not self._trained:
+            return np.array([self.rng.random() for _ in indices])
+        feats = np.stack([self._features_of(i) for i in indices])
+        return self.cost_model.predict(feats)
+
+    # -- tuner interface -------------------------------------------------------------
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        space = self.task.config_space
+        if not self._trained:
+            return self._random_unvisited(batch_size)
+        measured = sorted((r for r in self.records if r.valid),
+                          key=lambda r: r.mean_time)
+        seeds = [r.config_index for r in measured[:4]]
+        candidates = self.optimizer.find_maximums(self._score, batch_size,
+                                                  self._visited, seeds=seeds)
+        configs = [space.get(i) for i in candidates]
+        if len(configs) < batch_size:
+            configs.extend(self._random_unvisited(batch_size - len(configs)))
+        return configs
+
+    def update(self, inputs, results) -> None:
+        for inp, res in zip(inputs, results):
+            if not res.valid:
+                continue
+            features = (np.asarray(res.features.to_vector())
+                        if res.features is not None
+                        else self._features_of(inp.config.index))
+            self._feature_cache[inp.config.index] = features
+            self._train_features.append(features)
+            self._train_throughput.append(1.0 / max(res.mean_time, 1e-12))
+        if len(self._train_features) >= 8:
+            x = np.stack(self._train_features)
+            y = np.asarray(self._train_throughput)
+            # Normalise throughput so the rank objective is well conditioned.
+            y = y / y.max()
+            self.cost_model.fit(x, y)
+            self._trained = True

@@ -1,0 +1,42 @@
+"""Simulated vendor libraries and framework baselines used in the evaluation."""
+
+from .frameworks import (
+    ACLSim,
+    FrameworkResult,
+    FrameworkSim,
+    MXNetSim,
+    TFLiteSim,
+    TensorFlowSim,
+    TensorFlowXLASim,
+    framework_for,
+)
+from .profiles import (
+    ACL_PROFILE,
+    CAFFE2_ULP_PROFILE,
+    CUDNN_PROFILE,
+    FRAMEWORK_OVERHEADS,
+    MXNET_KERNEL_PROFILE,
+    TFLITE_PROFILE,
+    LibraryProfile,
+)
+from .vendor import VendorLibrary, conv_class_of
+
+__all__ = [
+    "ACLSim",
+    "ACL_PROFILE",
+    "CAFFE2_ULP_PROFILE",
+    "CUDNN_PROFILE",
+    "FRAMEWORK_OVERHEADS",
+    "FrameworkResult",
+    "FrameworkSim",
+    "LibraryProfile",
+    "MXNET_KERNEL_PROFILE",
+    "MXNetSim",
+    "TFLiteSim",
+    "TFLITE_PROFILE",
+    "TensorFlowSim",
+    "TensorFlowXLASim",
+    "VendorLibrary",
+    "conv_class_of",
+    "framework_for",
+]

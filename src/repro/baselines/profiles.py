@@ -1,0 +1,124 @@
+"""Efficiency profiles of the simulated vendor libraries and frameworks.
+
+The paper compares TVM against closed-source, hand-optimized libraries
+(cuDNN/cuBLAS on the Titan X, TensorFlow Lite kernels on the ARM A53, the ARM
+Compute Library on Mali, Caffe2's ultra-low-precision kernels) and against
+full frameworks (TensorFlow, TensorFlow-XLA, MXNet).  None of these can be
+run here, so each is modelled as a *fixed expert implementation*: the
+operator's ideal roofline time on the simulated device divided by an
+efficiency factor that captures how well the library handles that operator
+class.  The factors encode the qualitative facts reported in the paper:
+
+* cuDNN is extremely good at common convolutions (it is the reference point
+  TVM roughly matches on conventional ResNet layers in Figure 15) but poor at
+  operators it was not tuned for — depthwise convolutions (new at the time,
+  frameworks "implement their own versions"), the DQN's 4x4-stride-2
+  convolution, and small-batch corner cases.
+* TensorFlow Lite's float CPU kernels are decent for regular convolutions but
+  weak for depthwise convolutions on the A53 (Figure 17 shows ~2x headroom).
+* The ARM Compute Library on Mali leaves ~1.2-1.6x on the table end-to-end
+  (Figure 19).
+* Caffe2's ultra-low-precision kernels are single-threaded and not optimized
+  for 1x1 stride-2 layers (Figure 18).
+
+These numbers are *inputs* to the reproduction, documented here, not outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["LibraryProfile", "CUDNN_PROFILE", "TFLITE_PROFILE", "ACL_PROFILE",
+           "CAFFE2_ULP_PROFILE", "MXNET_KERNEL_PROFILE", "FRAMEWORK_OVERHEADS"]
+
+
+@dataclass(frozen=True)
+class LibraryProfile:
+    """Fraction of the device's roofline a library achieves per operator class."""
+
+    name: str
+    #: efficiency for conventional conv2d kernels (3x3/7x7, stride 1-2)
+    conv2d: float
+    #: efficiency for 1x1 convolutions
+    conv2d_1x1: float
+    #: efficiency for unconventional convolutions (e.g. 4x4 stride 2)
+    conv2d_unusual: float
+    #: efficiency for depthwise convolutions
+    depthwise: float
+    #: efficiency for dense / GEMM
+    dense: float
+    #: efficiency for element-wise / memory-bound operators
+    elementwise: float
+    #: efficiency for transposed convolutions
+    conv2d_transpose: float = 0.35
+
+
+#: cuDNN v7 + cuBLAS v8 on the Titan X (server GPU).
+CUDNN_PROFILE = LibraryProfile(
+    name="cuDNN",
+    conv2d=0.80,
+    conv2d_1x1=0.62,
+    conv2d_unusual=0.20,
+    depthwise=0.15,          # MXNet/TF ship their own unoptimised kernels
+    dense=0.85,              # cuBLAS
+    elementwise=0.60,
+    conv2d_transpose=0.35,
+)
+
+#: MXNet's handcrafted depthwise kernels (Figure 15's "MX Kernel" series).
+MXNET_KERNEL_PROFILE = LibraryProfile(
+    name="MXNet kernels",
+    conv2d=0.75,
+    conv2d_1x1=0.60,
+    conv2d_unusual=0.20,
+    depthwise=0.18,
+    dense=0.85,
+    elementwise=0.55,
+)
+
+#: TensorFlow Lite (commit 7558b085) float kernels on the ARM Cortex A53.
+TFLITE_PROFILE = LibraryProfile(
+    name="TensorFlow Lite",
+    conv2d=0.55,
+    conv2d_1x1=0.45,
+    conv2d_unusual=0.30,
+    depthwise=0.25,
+    dense=0.55,
+    elementwise=0.50,
+)
+
+#: ARM Compute Library v18.03 on the Mali-T860MP4.
+ACL_PROFILE = LibraryProfile(
+    name="ARM ComputeLib",
+    conv2d=0.60,
+    conv2d_1x1=0.50,
+    conv2d_unusual=0.35,
+    depthwise=0.30,
+    dense=0.60,
+    elementwise=0.55,
+)
+
+#: Caffe2 ultra-low-precision kernels (commit 39e07f7): single threaded,
+#: tuned for 3x3 stride-1 layers, weak on 1x1 stride-2 layers.
+CAFFE2_ULP_PROFILE = LibraryProfile(
+    name="Caffe2 ULP",
+    conv2d=0.55,
+    conv2d_1x1=0.12,
+    conv2d_unusual=0.25,
+    depthwise=0.25,
+    dense=0.50,
+    elementwise=0.50,
+)
+
+#: Per-operator dispatch overhead (seconds) of each framework's executor:
+#: graph interpretation, operator dispatch, memory allocator churn.
+FRAMEWORK_OVERHEADS: Dict[str, float] = {
+    "tensorflow": 18e-6,
+    "tensorflow-xla": 10e-6,
+    "mxnet": 12e-6,
+    "tflite": 8e-6,
+    "arm-compute-lib": 15e-6,
+    "caffe2": 8e-6,
+    "tvm": 2e-6,
+}

@@ -1,0 +1,33 @@
+"""Frontend: framework importers, model builder and the evaluation model zoo."""
+
+from .builder import ModelBuilder
+from .converters import (
+    KerasConversionError,
+    ONNXConversionError,
+    from_keras,
+    from_onnx,
+)
+from .models import (
+    MODEL_REGISTRY,
+    dcgan_generator,
+    dqn,
+    get_model,
+    lstm_language_model,
+    mobilenet,
+    resnet18,
+)
+
+__all__ = [
+    "KerasConversionError",
+    "MODEL_REGISTRY",
+    "ModelBuilder",
+    "ONNXConversionError",
+    "dcgan_generator",
+    "dqn",
+    "from_keras",
+    "from_onnx",
+    "get_model",
+    "lstm_language_model",
+    "mobilenet",
+    "resnet18",
+]

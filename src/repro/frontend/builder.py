@@ -1,0 +1,202 @@
+"""Symbolic model builder (the role played by ``t.frontend.from_keras`` etc.).
+
+The paper imports models from existing frameworks; this reproduction provides
+a small Keras-like builder that produces the same artefact — a computational
+:class:`~repro.graph.ir.Graph` plus a parameter dictionary with randomly
+initialised weights — for the evaluation workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graph.ir import Graph, Node
+
+__all__ = ["ModelBuilder"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class ModelBuilder:
+    """Builds graphs layer by layer, creating parameters as it goes."""
+
+    def __init__(self, name: str = "model", seed: int = 0, dtype: str = "float32"):
+        self.name = name
+        self.dtype = dtype
+        self.params: Dict[str, np.ndarray] = {}
+        self.rng = np.random.default_rng(seed)
+        self._counter: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _unique(self, prefix: str) -> str:
+        count = self._counter.get(prefix, 0)
+        self._counter[prefix] = count + 1
+        return f"{prefix}{count}"
+
+    def _param(self, name: str, shape: Sequence[int], scale: float = 0.1) -> Node:
+        array = (self.rng.standard_normal(tuple(shape)) * scale).astype(self.dtype)
+        self.params[name] = array
+        node = Node("null", name)
+        node.shape = tuple(shape)
+        node.dtype = self.dtype
+        return node
+
+    def _op(self, op: str, inputs: List[Node], attrs: Optional[Dict] = None,
+            name: Optional[str] = None) -> Node:
+        node = Node(op, name or self._unique(op), inputs, attrs or {})
+        # Infer the output shape eagerly so later layers can size their
+        # parameters (the graph pass re-checks shapes after rewriting).
+        from ..graph.ops import OP_REGISTRY
+
+        spec = OP_REGISTRY[node.op]
+        node.shape = spec.infer_shape([tuple(p.shape) for p in inputs], node.attrs)
+        node.dtype = self.dtype
+        return node
+
+    # ------------------------------------------------------------------ layers
+    def input(self, name: str, shape: Sequence[int]) -> Node:
+        node = Node("null", name)
+        node.shape = tuple(shape)
+        node.dtype = self.dtype
+        return node
+
+    def conv2d(self, data: Node, out_channels: int, kernel: IntPair,
+               stride: IntPair = 1, padding: IntPair = 0,
+               name: Optional[str] = None) -> Node:
+        name = name or self._unique("conv")
+        k_h, k_w = (kernel, kernel) if isinstance(kernel, int) else kernel
+        in_channels = data.shape[1] if data.shape else 0
+        weight = self._param(f"{name}_weight", (out_channels, in_channels, k_h, k_w))
+        return self._op("conv2d", [data, weight],
+                        {"strides": stride, "padding": padding}, name)
+
+    def depthwise_conv2d(self, data: Node, kernel: IntPair, stride: IntPair = 1,
+                         padding: IntPair = 0, name: Optional[str] = None) -> Node:
+        name = name or self._unique("dwconv")
+        k_h, k_w = (kernel, kernel) if isinstance(kernel, int) else kernel
+        channels = data.shape[1]
+        weight = self._param(f"{name}_weight", (channels, 1, k_h, k_w))
+        return self._op("depthwise_conv2d", [data, weight],
+                        {"strides": stride, "padding": padding}, name)
+
+    def conv2d_transpose(self, data: Node, out_channels: int, kernel: IntPair,
+                         stride: IntPair = 2, padding: IntPair = 1,
+                         name: Optional[str] = None) -> Node:
+        name = name or self._unique("deconv")
+        k_h, k_w = (kernel, kernel) if isinstance(kernel, int) else kernel
+        in_channels = data.shape[1]
+        weight = self._param(f"{name}_weight", (in_channels, out_channels, k_h, k_w))
+        return self._op("conv2d_transpose", [data, weight],
+                        {"strides": stride, "padding": padding}, name)
+
+    def dense(self, data: Node, units: int, name: Optional[str] = None) -> Node:
+        name = name or self._unique("dense")
+        in_dim = data.shape[-1]
+        weight = self._param(f"{name}_weight", (units, in_dim))
+        return self._op("dense", [data, weight], {}, name)
+
+    def bias_add(self, data: Node, name: Optional[str] = None) -> Node:
+        name = name or self._unique("bias")
+        channels = data.shape[1]
+        bias = self._param(f"{name}_b", (channels,), scale=0.01)
+        return self._op("bias_add", [data, bias], {}, name)
+
+    def batch_norm(self, data: Node, name: Optional[str] = None) -> Node:
+        name = name or self._unique("bn")
+        channels = data.shape[1]
+        gamma = self._param(f"{name}_gamma", (channels,), scale=0.0)
+        self.params[f"{name}_gamma"] += 1.0
+        beta = self._param(f"{name}_beta", (channels,), scale=0.01)
+        mean = self._param(f"{name}_mean", (channels,), scale=0.01)
+        var = self._param(f"{name}_var", (channels,), scale=0.0)
+        self.params[f"{name}_var"] += 1.0
+        return self._op("batch_norm", [data, gamma, beta, mean, var], {}, name)
+
+    def relu(self, data: Node) -> Node:
+        return self._op("relu", [data])
+
+    def leaky_relu(self, data: Node, alpha: float = 0.2) -> Node:
+        return self._op("leaky_relu", [data], {"alpha": alpha})
+
+    def sigmoid(self, data: Node) -> Node:
+        return self._op("sigmoid", [data])
+
+    def tanh(self, data: Node) -> Node:
+        return self._op("tanh", [data])
+
+    def add(self, lhs: Node, rhs: Node) -> Node:
+        return self._op("add", [lhs, rhs])
+
+    def multiply(self, lhs: Node, rhs: Node) -> Node:
+        return self._op("multiply", [lhs, rhs])
+
+    def softmax(self, data: Node) -> Node:
+        return self._op("softmax", [data])
+
+    def flatten(self, data: Node) -> Node:
+        return self._op("flatten", [data])
+
+    def reshape(self, data: Node, newshape: Sequence[int]) -> Node:
+        return self._op("reshape", [data], {"newshape": tuple(newshape)})
+
+    def max_pool2d(self, data: Node, pool_size: IntPair = 2, stride: IntPair = 2,
+                   padding: IntPair = 0) -> Node:
+        return self._op("max_pool2d", [data], {"pool_size": pool_size,
+                                               "strides": stride,
+                                               "padding": padding})
+
+    def avg_pool2d(self, data: Node, pool_size: IntPair = 2, stride: IntPair = 2,
+                   padding: IntPair = 0) -> Node:
+        return self._op("avg_pool2d", [data], {"pool_size": pool_size,
+                                               "strides": stride,
+                                               "padding": padding})
+
+    def global_avg_pool2d(self, data: Node) -> Node:
+        return self._op("global_avg_pool2d", [data])
+
+    # ------------------------------------------------------------------ composites
+    def conv_bn_relu(self, data: Node, out_channels: int, kernel: IntPair,
+                     stride: IntPair = 1, padding: IntPair = 0,
+                     name: Optional[str] = None) -> Node:
+        conv = self.conv2d(data, out_channels, kernel, stride, padding, name)
+        return self.relu(self.batch_norm(conv))
+
+    def lstm_cell(self, data: Node, hidden_prev: Node, cell_prev: Node,
+                  hidden_size: int, name: Optional[str] = None
+                  ) -> Tuple[Node, Node]:
+        """One LSTM cell step built from dense + element-wise ops."""
+        name = name or self._unique("lstm")
+        gates_x = self.dense(data, 4 * hidden_size, f"{name}_x")
+        gates_h = self.dense(hidden_prev, 4 * hidden_size, f"{name}_h")
+        gates = self.add(gates_x, gates_h)
+        i_gate = self.sigmoid(self._slice_gate(gates, hidden_size, 0, name))
+        f_gate = self.sigmoid(self._slice_gate(gates, hidden_size, 1, name))
+        g_gate = self.tanh(self._slice_gate(gates, hidden_size, 2, name))
+        o_gate = self.sigmoid(self._slice_gate(gates, hidden_size, 3, name))
+        cell = self.add(self.multiply(f_gate, cell_prev), self.multiply(i_gate, g_gate))
+        hidden = self.multiply(o_gate, self.tanh(cell))
+        return hidden, cell
+
+    def _slice_gate(self, gates: Node, hidden_size: int, index: int,
+                    name: str) -> Node:
+        """Project one gate out of the fused 4H gate activation (modelled as a
+        dense projection so it stays within the registered operator set)."""
+        weight_name = f"{name}_gate{index}_sel"
+        if weight_name not in self.params:
+            selector = np.zeros((hidden_size, 4 * hidden_size), dtype=self.dtype)
+            selector[:, index * hidden_size:(index + 1) * hidden_size] = np.eye(hidden_size)
+            self.params[weight_name] = selector
+        node = Node("null", weight_name)
+        node.shape = (hidden_size, 4 * hidden_size)
+        node.dtype = self.dtype
+        return self._op("dense", [gates, node], {}, f"{name}_gate{index}")
+
+    # ------------------------------------------------------------------ finish
+    def finalize(self, outputs: Union[Node, Sequence[Node]]
+                 ) -> Tuple[Graph, Dict[str, np.ndarray]]:
+        if isinstance(outputs, Node):
+            outputs = [outputs]
+        graph = Graph(list(outputs))
+        return graph, dict(self.params)

@@ -1,0 +1,47 @@
+"""Computational graph IR, high-level rewriting passes and the end-to-end compiler."""
+
+from .build import CompiledKernel, CompiledModule, build
+from .ir import Graph, Node
+from .op_timing import clear_timing_cache, estimate_node_time, make_task_for_node
+from .ops import OP_REGISTRY, OpPattern, OpSpec, register_op
+from .passes import (
+    FusedGroup,
+    MemoryPlan,
+    alter_layout,
+    fold_constants,
+    fuse_ops,
+    plan_memory,
+)
+from .simplify import (
+    dead_code_elimination,
+    eliminate_common_subexpr,
+    simplify_inference,
+)
+from .tuning import extract_tasks, tune_graph, tune_tasks
+
+__all__ = [
+    "CompiledKernel",
+    "CompiledModule",
+    "FusedGroup",
+    "Graph",
+    "MemoryPlan",
+    "Node",
+    "OP_REGISTRY",
+    "OpPattern",
+    "OpSpec",
+    "alter_layout",
+    "build",
+    "clear_timing_cache",
+    "estimate_node_time",
+    "fold_constants",
+    "fuse_ops",
+    "make_task_for_node",
+    "plan_memory",
+    "register_op",
+    "simplify_inference",
+    "eliminate_common_subexpr",
+    "dead_code_elimination",
+    "extract_tasks",
+    "tune_graph",
+    "tune_tasks",
+]

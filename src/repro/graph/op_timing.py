@@ -1,0 +1,288 @@
+"""Per-operator kernel time estimation on a target.
+
+For the heavy operators (conv2d, depthwise conv2d, dense, transposed conv)
+the estimate comes from actually lowering a scheduled tensor-expression
+implementation — using the best configuration found by the autotuner when a
+tuning database is supplied, or the template's fallback configuration
+otherwise — and asking the target's hardware model for its latency.  Light
+(injective / reduction) operators are estimated from their memory traffic.
+
+Results are memoised per (workload, target) since networks reuse layer shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import te, tir
+from ..autotvm.database import TuningDatabase
+from ..autotvm.space import ConfigSpace
+from ..autotvm.task import Task
+from ..hardware.target import Target
+from ..hardware.vdla import VDLAAccelerator
+from ..topi import nn as topi_nn
+from ..topi.schedules import cpu as cpu_sched
+from ..topi.schedules import gpu as gpu_sched
+from ..topi.schedules import vdla as vdla_sched
+from .ir import Node
+from .ops import OP_REGISTRY
+
+__all__ = ["workload_key", "estimate_node_time", "make_task_for_node",
+           "fallback_search", "clear_timing_cache", "KERNEL_TIME_CACHE"]
+
+KERNEL_TIME_CACHE: Dict[Tuple, float] = {}
+
+
+def clear_timing_cache() -> None:
+    KERNEL_TIME_CACHE.clear()
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def workload_key(node: Node, target: Target) -> Tuple:
+    """Cache / tuning-database key for an operator workload on a target."""
+    shapes = tuple(tuple(p.shape) for p in node.inputs)
+    attrs = tuple(sorted((k, str(v)) for k, v in node.attrs.items()
+                         if k in ("strides", "padding", "pool_size", "alpha")))
+    return (node.op, shapes, attrs, target.name, node.dtype)
+
+
+# ---------------------------------------------------------------------------
+# Template construction per operator / target
+# ---------------------------------------------------------------------------
+
+def _conv2d_template(target: Target):
+    gpu_like = target.device_type in ("gpu", "mali")
+
+    def template(cfg, n, ci, h, w, co, kh, kw, stride, padding, dtype):
+        data = te.placeholder((n, ci, h, w), name="data", dtype=dtype)
+        kernel = te.placeholder((co, ci, kh, kw), name="kernel", dtype=dtype)
+        conv = topi_nn.conv2d_nchw(data, kernel, stride, padding)
+        if gpu_like:
+            return gpu_sched.conv2d_gpu_template(cfg, data, kernel, conv)
+        return cpu_sched.conv2d_cpu_template(cfg, data, kernel, conv)
+
+    return template
+
+
+def _depthwise_template(target: Target):
+    gpu_like = target.device_type in ("gpu", "mali")
+
+    def template(cfg, n, c, h, w, kh, kw, stride, padding, dtype):
+        data = te.placeholder((n, c, h, w), name="data", dtype=dtype)
+        kernel = te.placeholder((c, 1, kh, kw), name="kernel", dtype=dtype)
+        conv = topi_nn.depthwise_conv2d_nchw(data, kernel, stride, padding)
+        if gpu_like:
+            return gpu_sched.depthwise_conv2d_gpu_template(cfg, data, kernel, conv)
+        return cpu_sched.depthwise_conv2d_cpu_template(cfg, data, kernel, conv)
+
+    return template
+
+
+def _dense_template(target: Target):
+    gpu_like = target.device_type in ("gpu", "mali")
+
+    def template(cfg, batch, in_dim, out_dim, dtype):
+        data = te.placeholder((batch, in_dim), name="data", dtype=dtype)
+        weight = te.placeholder((out_dim, in_dim), name="weight", dtype=dtype)
+        out = topi_nn.dense(data, weight)
+        if gpu_like:
+            return gpu_sched.dense_gpu_template(cfg, data, weight, out)
+        return cpu_sched.dense_cpu_template(cfg, data, weight, out)
+
+    return template
+
+
+def make_task_for_node(node: Node, target: Target) -> Optional[Task]:
+    """Create an autotvm task for a heavy operator node, or None."""
+    dtype = node.dtype or "float32"
+    if node.op == "conv2d_transpose":
+        # A strided transposed convolution is compiled as the equivalent
+        # unit-stride convolution over the zero-dilated input.
+        (n, ci, h, w) = node.inputs[0].shape
+        (_ic, co, kh, kw) = node.inputs[1].shape
+        sh, _sw = _pair(node.attrs.get("strides", 1))
+        ph, _pw = _pair(node.attrs.get("padding", 0))
+        dil_h = h + (h - 1) * (sh - 1)
+        dil_w = w + (w - 1) * (sh - 1)
+        args = (n, ci, dil_h, dil_w, co, kh, kw, 1, kh - 1 - ph, dtype)
+        return Task(f"conv2d_{args}", _conv2d_template(target), args, target)
+    if node.op == "conv2d":
+        (n, ci, h, w) = node.inputs[0].shape
+        (co, _ci, kh, kw) = node.inputs[1].shape
+        sh, _sw = _pair(node.attrs.get("strides", 1))
+        ph, _pw = _pair(node.attrs.get("padding", 0))
+        args = (n, ci, h, w, co, kh, kw, sh, ph, dtype)
+        return Task(f"conv2d_{args}", _conv2d_template(target), args, target)
+    if node.op == "depthwise_conv2d":
+        (n, c, h, w) = node.inputs[0].shape
+        (_c, _m, kh, kw) = node.inputs[1].shape
+        sh, _sw = _pair(node.attrs.get("strides", 1))
+        ph, _pw = _pair(node.attrs.get("padding", 0))
+        args = (n, c, h, w, kh, kw, sh, ph, dtype)
+        return Task(f"depthwise_{args}", _depthwise_template(target), args, target)
+    if node.op == "dense":
+        (batch, in_dim) = node.inputs[0].shape
+        (out_dim, _in) = node.inputs[1].shape
+        args = (batch, in_dim, out_dim, dtype)
+        return Task(f"dense_{args}", _dense_template(target), args, target)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Estimation
+# ---------------------------------------------------------------------------
+
+def _memory_bound_time(node: Node, target: Target, fused: bool = False) -> float:
+    """Traffic-based estimate for light operators."""
+    params = target.model.params
+    elem_bytes = 2 if node.dtype == "float16" else 4
+    out_elems = float(np.prod(node.shape))
+    in_elems = sum(float(np.prod(p.shape)) for p in node.inputs)
+    traffic = (out_elems + in_elems) * elem_bytes
+    bandwidth = params.dram_bandwidth
+    time = traffic / bandwidth
+    spec = OP_REGISTRY[node.op]
+    flops = spec.flops([tuple(p.shape) for p in node.inputs], tuple(node.shape),
+                       node.attrs)
+    time = max(time, flops / params.peak_flops * 4.0)
+    if not fused:
+        time += params.launch_overhead
+    return time
+
+
+def _vdla_conv_time(node: Node, target: Target, latency_hiding: bool = True) -> float:
+    """Estimate a convolution offloaded to the VDLA via its GEMM mapping."""
+    (n, ci, h, w) = node.inputs[0].shape
+    (co, _ci, kh, kw) = node.inputs[1].shape
+    sh, _sw = _pair(node.attrs.get("strides", 1))
+    ph, _pw = _pair(node.attrs.get("padding", 0))
+    m, n_dim, k = vdla_sched.conv2d_as_gemm_workload(n, ci, h, w, co, kh, sh, ph)
+    schedule, tensors = vdla_sched.schedule_gemm_vdla(
+        m, n_dim, k, vthreads=2 if latency_hiding else 1)
+    func = tir.lower(schedule, tensors, name=f"vdla_conv_{m}x{n_dim}x{k}")
+    from ..tir.transforms import inject_virtual_threads
+
+    func = inject_virtual_threads(func)
+    model: VDLAAccelerator = target.model  # type: ignore[assignment]
+    return model.estimate_func(func, latency_hiding=latency_hiding)
+
+
+def estimate_node_time(node: Node, target: Target,
+                       tuning_db: Optional[TuningDatabase] = None,
+                       fused: bool = False,
+                       n_fallback_configs: int = 48) -> float:
+    """Estimated kernel latency of one operator node on ``target``.
+
+    ``fused=True`` means the node executes inside a fused kernel anchored by
+    another operator, so it contributes no extra kernel launch and its global
+    memory round-trip is elided (only its arithmetic is counted).
+    """
+    key = workload_key(node, target) + (fused,)
+    if key in KERNEL_TIME_CACHE:
+        return KERNEL_TIME_CACHE[key]
+
+    spec = OP_REGISTRY[node.op]
+    if fused and spec.pattern == "injective":
+        flops = spec.flops([tuple(p.shape) for p in node.inputs], tuple(node.shape),
+                           node.attrs)
+        time = flops / target.model.params.peak_flops * 2.0
+        KERNEL_TIME_CACHE[key] = time
+        return time
+
+    if target.device_type == "vdla" and node.op in ("conv2d",):
+        time = _vdla_conv_time(node, target)
+        KERNEL_TIME_CACHE[key] = time
+        return time
+
+    task = make_task_for_node(node, target) \
+        if node.op in ("conv2d", "depthwise_conv2d", "dense", "conv2d_transpose") \
+        else None
+    if task is None:
+        time = _memory_bound_time(node, target, fused=fused)
+        KERNEL_TIME_CACHE[key] = time
+        return time
+
+    # Pick the configuration: tuned if available, otherwise run the compiler's
+    # fallback heuristic (a short model-guided local search over the space).
+    config = None
+    if tuning_db is not None:
+        entry = tuning_db.best(task.name, target.name)
+        if entry is not None:
+            config = task.config_space.get(entry.config_index)
+    if config is not None:
+        try:
+            func = task.lower(config)
+            best_time = target.model.estimate(tir.extract_features(func))
+        except Exception:
+            best_time = float("inf")
+    else:
+        import zlib
+
+        seed = zlib.crc32(repr(key).encode())
+        best_time, _best_index = fallback_search(
+            task, target, n_random=max(n_fallback_configs // 2, 8),
+            climb_rounds=2, seed=seed)
+    if not math.isfinite(best_time):
+        best_time = _memory_bound_time(node, target, fused=fused)
+    KERNEL_TIME_CACHE[key] = best_time
+    return best_time
+
+
+def fallback_search(task: Task, target: Target, n_random: int = 24,
+                    climb_rounds: int = 2, top_k: int = 3,
+                    seed: int = 0) -> Tuple[float, int]:
+    """Model-guided fallback configuration search (no tuning log available).
+
+    Samples ``n_random`` configurations, then hill-climbs from the best
+    ``top_k`` by toggling one knob at a time, scoring every candidate with the
+    target's hardware model.  Returns ``(best_time, best_config_index)``.
+    This is the deterministic heuristic the compiler uses when the user has
+    not run the autotuner; the autotuner (Section 5) explores the same space
+    with real measurements and an ML cost model instead.
+    """
+    import random as _random
+
+    space = task.config_space
+    rng = _random.Random(seed)
+    scored: Dict[int, float] = {}
+
+    def score(index: int) -> float:
+        if index in scored:
+            return scored[index]
+        try:
+            func = task.lower(space.get(index))
+            estimate = target.model.estimate(tir.extract_features(func))
+        except Exception:
+            estimate = float("inf")
+        scored[index] = estimate
+        return estimate
+
+    for candidate in space.sample(max(n_random, 1), rng=rng):
+        score(candidate.index)
+
+    dims = space.dims
+    names = space.knob_names
+    for _ in range(max(climb_rounds, 0)):
+        seeds = sorted(scored, key=scored.get)[:top_k]
+        for index in seeds:
+            knobs = space.knob_indices(index)
+            for pos in range(len(knobs)):
+                for delta in (-1, 1):
+                    if dims[pos] <= 1:
+                        continue
+                    neighbor = list(knobs)
+                    neighbor[pos] = (neighbor[pos] + delta) % dims[pos]
+                    neighbor_index = space.index_of(
+                        {name: neighbor[i] for i, name in enumerate(names)})
+                    score(neighbor_index)
+
+    best_index = min(scored, key=scored.get)
+    return scored[best_index], best_index

@@ -1,0 +1,50 @@
+"""Simulated hardware back-ends standing in for the paper's physical devices."""
+
+from .base import HardwareModel, HardwareParams, MeasureResult
+from .cpu import CPUParams, EmbeddedCPU, arm_a53_params, cortex_a9_params
+from .gpu import GPUParams, MobileGPU, ServerGPU, mali_t860_params, titan_x_params
+from .target import (
+    SCHEDULE_PRIMITIVE_SUPPORT,
+    Target,
+    arm_cpu,
+    create_target,
+    cuda,
+    mali,
+    pynq_cpu,
+    vdla,
+)
+from .vdla import (
+    VDLAAccelerator,
+    VDLAInstruction,
+    VDLAParams,
+    build_instruction_trace,
+    pynq_vdla_params,
+)
+
+__all__ = [
+    "CPUParams",
+    "EmbeddedCPU",
+    "GPUParams",
+    "HardwareModel",
+    "HardwareParams",
+    "MeasureResult",
+    "MobileGPU",
+    "SCHEDULE_PRIMITIVE_SUPPORT",
+    "ServerGPU",
+    "Target",
+    "VDLAAccelerator",
+    "VDLAInstruction",
+    "VDLAParams",
+    "arm_a53_params",
+    "arm_cpu",
+    "build_instruction_trace",
+    "cortex_a9_params",
+    "create_target",
+    "cuda",
+    "mali",
+    "mali_t860_params",
+    "pynq_cpu",
+    "pynq_vdla_params",
+    "titan_x_params",
+    "vdla",
+]

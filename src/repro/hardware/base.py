@@ -1,0 +1,118 @@
+"""Base classes for simulated hardware back-ends.
+
+The paper evaluates TVM on four physical platforms.  This reproduction
+replaces them with analytic/event-driven performance models driven by the
+lowered loop program (see DESIGN.md §1).  Each model exposes:
+
+* :meth:`HardwareModel.estimate` — deterministic latency estimate in seconds
+  from :class:`~repro.tir.analysis.ProgramFeatures`.
+* :meth:`HardwareModel.measure` — a "hardware measurement": the estimate plus
+  multiplicative measurement noise, as would be observed by the RPC device
+  pool when timing a kernel on a real board.
+
+The models are intentionally mechanistic: schedule decisions change the
+lowered program, which changes the features (memory traffic per scope,
+parallelism, barriers, intrinsic usage), which changes the simulated time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..tir.analysis import ProgramFeatures, extract_features
+from ..tir.stmt import LoweredFunc
+
+__all__ = ["HardwareParams", "HardwareModel", "MeasureResult"]
+
+
+@dataclass
+class HardwareParams:
+    """Capability description of a simulated device."""
+
+    name: str = "generic"
+    #: peak floating point throughput in FLOP/s
+    peak_flops: float = 1e11
+    #: off-chip (DRAM) bandwidth in bytes/s
+    dram_bandwidth: float = 10e9
+    #: on-chip scratchpad / shared-memory bandwidth in bytes/s
+    onchip_bandwidth: float = 100e9
+    #: last-level hardware-managed cache in bytes (0 = none, e.g. accelerators)
+    cache_bytes: float = 1 << 20
+    #: first-level cache in bytes
+    l1_bytes: float = 32 << 10
+    #: kernel / invocation launch overhead in seconds
+    launch_overhead: float = 1e-6
+    #: measurement noise (one standard deviation, multiplicative)
+    noise_std: float = 0.03
+
+
+@dataclass
+class MeasureResult:
+    """Result of one simulated on-device measurement."""
+
+    mean_time: float
+    times: list = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def valid(self) -> bool:
+        return self.error is None and math.isfinite(self.mean_time)
+
+
+class HardwareModel:
+    """Common machinery shared by all simulated devices."""
+
+    device_type = "generic"
+
+    def __init__(self, params: Optional[HardwareParams] = None, seed: int = 0):
+        self.params = params or HardwareParams()
+        self._seed = seed
+
+    # -- interface -------------------------------------------------------------
+    def estimate(self, features: ProgramFeatures) -> float:
+        """Deterministic latency estimate (seconds) for a lowered program."""
+        raise NotImplementedError
+
+    def estimate_func(self, func: LoweredFunc) -> float:
+        return self.estimate(extract_features(func))
+
+    def measure(self, func_or_features, number: int = 3,
+                rng: Optional[np.random.Generator] = None) -> MeasureResult:
+        """Simulate timing a kernel ``number`` times on the device."""
+        if isinstance(func_or_features, LoweredFunc):
+            features = extract_features(func_or_features)
+            key = func_or_features.name
+        else:
+            features = func_or_features
+            key = "features"
+        try:
+            base = self.estimate(features)
+        except Exception as exc:  # invalid schedule (e.g. resource overflow)
+            return MeasureResult(float("inf"), [], error=str(exc))
+        if not math.isfinite(base):
+            return MeasureResult(float("inf"), [], error="resource limit exceeded")
+        rng = rng or self._rng_for(key)
+        times = [max(base * float(rng.normal(1.0, self.params.noise_std)), base * 0.5)
+                 for _ in range(number)]
+        return MeasureResult(float(np.mean(times)), times)
+
+    # -- helpers ---------------------------------------------------------------
+    def _rng_for(self, key: str) -> np.random.Generator:
+        digest = hashlib.sha256(f"{self.params.name}:{key}:{self._seed}".encode())
+        return np.random.default_rng(int.from_bytes(digest.digest()[:8], "little"))
+
+    def _parallel_efficiency(self, requested: float, available: int) -> float:
+        """Diminishing-returns scaling of a parallel resource."""
+        if requested <= 1:
+            return 1.0 / available
+        used = min(requested, available)
+        # 90% parallel efficiency per doubling beyond a single unit.
+        return (used / available) * (0.92 ** math.log2(max(used, 1.0)))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.params.name})"

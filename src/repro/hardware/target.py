@@ -1,0 +1,129 @@
+"""Compilation targets.
+
+A :class:`Target` names a hardware back-end, carries the simulated device
+model used for measurement, and exposes the scheduling capabilities listed in
+Figure 6 of the paper (which schedule primitives each back-end uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .base import HardwareModel
+from .cpu import EmbeddedCPU, arm_a53_params, cortex_a9_params
+from .gpu import MobileGPU, ServerGPU, mali_t860_params, titan_x_params
+from .vdla import VDLAAccelerator, pynq_vdla_params
+
+__all__ = ["Target", "cuda", "arm_cpu", "pynq_cpu", "mali", "vdla",
+           "create_target", "SCHEDULE_PRIMITIVE_SUPPORT"]
+
+
+#: Figure 6: which schedule primitives each back-end's schedules use.
+SCHEDULE_PRIMITIVE_SUPPORT: Dict[str, Dict[str, bool]] = {
+    "cpu": {
+        "loop_transformations": True,
+        "thread_binding": True,
+        "compute_locality": True,
+        "special_memory_scope": False,
+        "tensorization": True,
+        "latency_hiding": False,
+    },
+    "gpu": {
+        "loop_transformations": True,
+        "thread_binding": True,
+        "compute_locality": True,
+        "special_memory_scope": True,
+        "tensorization": True,
+        "latency_hiding": False,
+    },
+    "accel": {
+        "loop_transformations": True,
+        "thread_binding": True,
+        "compute_locality": True,
+        "special_memory_scope": True,
+        "tensorization": True,
+        "latency_hiding": True,
+    },
+}
+
+
+@dataclass
+class Target:
+    """A compilation target: name, device kind and simulated device model."""
+
+    name: str
+    device_type: str                     # cpu | gpu | mali | vdla
+    model: HardwareModel
+    keys: Tuple[str, ...] = ()
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def primitive_support(self) -> Dict[str, bool]:
+        if self.device_type in ("gpu", "mali"):
+            return SCHEDULE_PRIMITIVE_SUPPORT["gpu"]
+        if self.device_type == "vdla":
+            return SCHEDULE_PRIMITIVE_SUPPORT["accel"]
+        return SCHEDULE_PRIMITIVE_SUPPORT["cpu"]
+
+    @property
+    def max_threads_per_block(self) -> int:
+        return int(getattr(self.model.params, "max_threads_per_block", 1024))
+
+    @property
+    def num_cores(self) -> int:
+        return int(getattr(self.model.params, "num_cores", 1))
+
+    def __repr__(self) -> str:
+        return f"Target({self.name})"
+
+
+def cuda(seed: int = 0) -> Target:
+    """Server-class GPU target (simulated NVIDIA Titan X)."""
+    return Target("cuda", "gpu", ServerGPU(titan_x_params(), seed),
+                  keys=("cuda", "gpu"))
+
+
+def mali(seed: int = 0) -> Target:
+    """Mobile GPU target (simulated ARM Mali-T860MP4)."""
+    return Target("opencl -device=mali", "mali", MobileGPU(mali_t860_params(), seed),
+                  keys=("mali", "opencl", "gpu"))
+
+
+def arm_cpu(seed: int = 0) -> Target:
+    """Embedded CPU target (simulated quad-core ARM Cortex A53)."""
+    return Target("llvm -device=arm_cpu", "cpu", EmbeddedCPU(arm_a53_params(), seed),
+                  keys=("arm_cpu", "cpu"))
+
+
+def pynq_cpu(seed: int = 0) -> Target:
+    """Host CPU of the FPGA platform (simulated dual-core ARM Cortex A9)."""
+    return Target("llvm -device=arm_cpu -model=pynq", "cpu",
+                  EmbeddedCPU(cortex_a9_params(), seed),
+                  keys=("pynq_cpu", "arm_cpu", "cpu"))
+
+
+def vdla(seed: int = 0) -> Target:
+    """FPGA-based Vanilla Deep Learning Accelerator target."""
+    return Target("vdla", "vdla", VDLAAccelerator(pynq_vdla_params(), seed),
+                  keys=("vdla", "accel"))
+
+
+_FACTORIES = {
+    "cuda": cuda,
+    "gpu": cuda,
+    "mali": mali,
+    "arm_cpu": arm_cpu,
+    "cpu": arm_cpu,
+    "llvm": arm_cpu,
+    "pynq_cpu": pynq_cpu,
+    "vdla": vdla,
+}
+
+
+def create_target(name: str, seed: int = 0) -> Target:
+    """Create a target from a short name (``cuda``, ``arm_cpu``, ``mali``, ``vdla``)."""
+    key = name.split()[0].lower()
+    if key not in _FACTORIES:
+        raise ValueError(f"Unknown target {name!r}; expected one of {sorted(_FACTORIES)}")
+    return _FACTORIES[key](seed)

@@ -1,0 +1,22 @@
+"""Deployable runtime: NDArray, graph executor and the RPC device pool."""
+
+from .graph_executor import GraphExecutor, create
+from .ndarray import Context, NDArray, array, cpu, empty, gpu, mali, vdla
+from .rpc import RPCServer, RPCSession, Tracker, connect_tracker
+
+__all__ = [
+    "Context",
+    "GraphExecutor",
+    "NDArray",
+    "RPCServer",
+    "RPCSession",
+    "Tracker",
+    "array",
+    "connect_tracker",
+    "cpu",
+    "create",
+    "empty",
+    "gpu",
+    "mali",
+    "vdla",
+]

@@ -1,0 +1,100 @@
+"""Graph runtime (the ``runtime.create`` / ``module.run`` API of Section 2).
+
+Executes a compiled module: functional results come from the NumPy kernels,
+while the reported latency is the sum of the per-kernel estimates produced by
+the simulated target during compilation (plus runtime dispatch overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.build import CompiledModule
+from .ndarray import Context, NDArray, cpu
+
+__all__ = ["GraphExecutor", "create"]
+
+
+class GraphExecutor:
+    """Executes a :class:`~repro.graph.build.CompiledModule`."""
+
+    def __init__(self, module: CompiledModule, ctx: Optional[Context] = None):
+        self.module = module
+        self.ctx = ctx or cpu()
+        self._inputs: Dict[str, np.ndarray] = {}
+        self._tensors: Dict[str, np.ndarray] = {}
+        self._last_run_time: float = 0.0
+        self._per_kernel_times: List[Tuple[str, float]] = []
+
+    # ------------------------------------------------------------------ inputs
+    def set_input(self, key: Optional[str] = None, value=None, **params) -> None:
+        """Set a named input and/or a batch of parameters (``**params``)."""
+        if key is not None:
+            self._inputs[key] = self._as_numpy(value)
+        for name, array in params.items():
+            self._inputs[name] = self._as_numpy(array)
+
+    @staticmethod
+    def _as_numpy(value) -> np.ndarray:
+        if isinstance(value, NDArray):
+            return value.asnumpy()
+        return np.asarray(value)
+
+    # ------------------------------------------------------------------ execution
+    def run(self, **inputs) -> None:
+        """Execute the whole graph once."""
+        for name, value in inputs.items():
+            self._inputs[name] = self._as_numpy(value)
+        tensors: Dict[str, np.ndarray] = {}
+        for node in self.module.graph.input_nodes:
+            if node.name in self._inputs:
+                tensors[node.name] = self._inputs[node.name]
+            elif node.name in self.module.params:
+                tensors[node.name] = self.module.params[node.name]
+            else:
+                raise ValueError(f"Graph input {node.name!r} has not been set")
+        total_time = 0.0
+        per_kernel: List[Tuple[str, float]] = []
+        for kernel in self.module.kernels:
+            kernel.run(tensors)
+            total_time += kernel.time_seconds
+            per_kernel.append((kernel.name, kernel.time_seconds))
+        self._tensors = tensors
+        self._last_run_time = total_time
+        self._per_kernel_times = per_kernel
+
+    # ------------------------------------------------------------------ outputs
+    def get_output(self, index: int, out: Optional[NDArray] = None) -> NDArray:
+        node = self.module.graph.outputs[index]
+        value = self._tensors[node.name]
+        if out is not None:
+            return out.copyfrom(value)
+        return NDArray(value, self.ctx)
+
+    def get_node_output(self, name: str) -> np.ndarray:
+        return self._tensors[name]
+
+    # ------------------------------------------------------------------ profiling
+    @property
+    def last_run_time(self) -> float:
+        """Simulated end-to-end latency of the last ``run`` call (seconds)."""
+        return self._last_run_time
+
+    def profile(self) -> List[Tuple[str, float]]:
+        """Per-kernel (name, seconds) breakdown of the last run."""
+        return list(self._per_kernel_times)
+
+    def benchmark(self, repeat: int = 3) -> float:
+        """Mean simulated latency over ``repeat`` runs (inputs must be set)."""
+        times = []
+        for _ in range(repeat):
+            self.run()
+            times.append(self._last_run_time)
+        return float(np.mean(times))
+
+
+def create(module: CompiledModule, ctx: Optional[Context] = None) -> GraphExecutor:
+    """Create a graph executor (``runtime.create(graph, lib, ctx)`` in the paper)."""
+    return GraphExecutor(module, ctx)

@@ -1,0 +1,86 @@
+"""NDArray and device context abstractions (the ``tvm.nd`` API of Section 2)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Context", "NDArray", "array", "empty", "cpu", "gpu", "mali", "vdla"]
+
+
+class Context:
+    """A device context: device type + index."""
+
+    def __init__(self, device_type: str, device_id: int = 0):
+        self.device_type = device_type
+        self.device_id = device_id
+
+    def __repr__(self) -> str:
+        return f"{self.device_type}({self.device_id})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Context) and other.device_type == self.device_type
+                and other.device_id == self.device_id)
+
+    def __hash__(self) -> int:
+        return hash((self.device_type, self.device_id))
+
+
+def cpu(device_id: int = 0) -> Context:
+    return Context("cpu", device_id)
+
+
+def gpu(device_id: int = 0) -> Context:
+    return Context("gpu", device_id)
+
+
+def mali(device_id: int = 0) -> Context:
+    return Context("mali", device_id)
+
+
+def vdla(device_id: int = 0) -> Context:
+    return Context("vdla", device_id)
+
+
+class NDArray:
+    """A device-resident tensor (backed by NumPy in this reproduction)."""
+
+    def __init__(self, data: np.ndarray, ctx: Optional[Context] = None):
+        self._data = np.asarray(data)
+        self.ctx = ctx or cpu()
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self._data.shape)
+
+    @property
+    def dtype(self) -> str:
+        return str(self._data.dtype)
+
+    def asnumpy(self) -> np.ndarray:
+        return np.array(self._data)
+
+    def copyfrom(self, source: Union["NDArray", np.ndarray]) -> "NDArray":
+        array_data = source.asnumpy() if isinstance(source, NDArray) else np.asarray(source)
+        if array_data.shape != self._data.shape:
+            raise ValueError(f"Shape mismatch: {array_data.shape} vs {self._data.shape}")
+        self._data[...] = array_data
+        return self
+
+    def copyto(self, target: "NDArray") -> "NDArray":
+        return target.copyfrom(self)
+
+    def __repr__(self) -> str:
+        return f"NDArray(shape={self.shape}, dtype={self.dtype}, ctx={self.ctx})"
+
+
+def array(data: np.ndarray, ctx: Optional[Context] = None) -> NDArray:
+    """Create an NDArray on a device from host data."""
+    return NDArray(np.array(data), ctx)
+
+
+def empty(shape: Sequence[int], dtype: str = "float32",
+          ctx: Optional[Context] = None) -> NDArray:
+    """Allocate an uninitialised NDArray (``tvm.nd.empty`` in the paper)."""
+    return NDArray(np.zeros(tuple(shape), dtype=dtype), ctx)

@@ -1,0 +1,143 @@
+"""RPC tracker and device pool (paper Section 5.4, Figure 11).
+
+The paper's distributed device pool lets many tuning jobs share boards: a
+tracker matches client requests to free devices, the client uploads a
+cross-compiled module, runs it remotely and collects timings.  This module
+reproduces that architecture in-process: :class:`Tracker` manages a registry
+of :class:`RPCServer` instances (each owning one simulated device), hands out
+:class:`RPCSession` leases, and enforces exclusive access with locks so
+concurrent tuning jobs time-share devices exactly like the real pool.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..hardware.base import HardwareModel
+from ..tir.analysis import ProgramFeatures
+
+__all__ = ["RPCServer", "RPCSession", "Tracker", "connect_tracker"]
+
+
+class RPCServer:
+    """One device host registered with the tracker."""
+
+    def __init__(self, key: str, model: HardwareModel, host: str = "127.0.0.1",
+                 port: int = 9090):
+        self.key = key
+        self.model = model
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self.uploaded_modules: Dict[str, object] = {}
+        self.request_count = 0
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        return self._lock.acquire(timeout=timeout if timeout is not None else -1)
+
+    def release(self) -> None:
+        if self._lock.locked():
+            self._lock.release()
+
+    # -- remote procedure surface ------------------------------------------------
+    def upload(self, name: str, module: object) -> None:
+        self.uploaded_modules[name] = module
+
+    def run_timed(self, payload, number: int = 3) -> List[float]:
+        """Time a lowered function / feature vector on this device."""
+        self.request_count += 1
+        result = self.model.measure(payload, number=number)
+        if result.error is not None:
+            raise RuntimeError(f"remote execution failed: {result.error}")
+        return list(result.times)
+
+
+class RPCSession:
+    """A client's lease on one remote device."""
+
+    def __init__(self, server: RPCServer, tracker: "Tracker"):
+        self.server = server
+        self.tracker = tracker
+        self._released = False
+
+    def upload(self, name: str, module: object) -> None:
+        self.server.upload(name, module)
+
+    def run_timed(self, payload, number: int = 3) -> List[float]:
+        return self.server.run_timed(payload, number=number)
+
+    def release(self) -> None:
+        if not self._released:
+            self.server.release()
+            self.tracker._notify_free(self.server)
+            self._released = True
+
+    def __enter__(self) -> "RPCSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class Tracker:
+    """Matches device requests to free servers (the paper's tracker)."""
+
+    def __init__(self):
+        self._servers: Dict[str, List[RPCServer]] = {}
+        self._free: Dict[str, "queue.Queue[RPCServer]"] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------------------
+    def register(self, server: RPCServer) -> None:
+        with self._lock:
+            self._servers.setdefault(server.key, []).append(server)
+            self._free.setdefault(server.key, queue.Queue()).put(server)
+
+    def register_device(self, key: str, model: HardwareModel, count: int = 1) -> None:
+        """Convenience: register ``count`` identical devices under ``key``."""
+        for index in range(count):
+            self.register(RPCServer(key, model, port=9090 + index))
+
+    # -- allocation -------------------------------------------------------------------
+    def request(self, key: str, timeout: float = 10.0) -> RPCSession:
+        """Request an exclusive session on a free device of type ``key``."""
+        if key not in self._servers:
+            raise KeyError(f"No devices registered under key {key!r}; "
+                           f"known keys: {sorted(self._servers)}")
+        try:
+            server = self._free[key].get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError(f"No free device for key {key!r} within {timeout}s") from exc
+        server.acquire()
+        return RPCSession(server, self)
+
+    def _notify_free(self, server: RPCServer) -> None:
+        self._free[server.key].put(server)
+
+    # -- introspection -----------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {key: {"total": len(servers),
+                          "free": self._free[key].qsize(),
+                          "requests": sum(s.request_count for s in servers)}
+                    for key, servers in self._servers.items()}
+
+
+#: process-wide default tracker (mirrors connecting to a well-known host:port)
+_DEFAULT_TRACKER: Optional[Tracker] = None
+
+
+def connect_tracker(create: bool = True) -> Tracker:
+    """Return the process-wide tracker, creating it on first use."""
+    global _DEFAULT_TRACKER
+    if _DEFAULT_TRACKER is None and create:
+        _DEFAULT_TRACKER = Tracker()
+    if _DEFAULT_TRACKER is None:
+        raise RuntimeError("No tracker available")
+    return _DEFAULT_TRACKER

@@ -1,0 +1,733 @@
+"""Scalar expression IR for the tensor expression language.
+
+This module implements the index-formula expression language described in
+Section 4.1 of the TVM paper.  Expressions are small immutable trees built
+from variables, constants, arithmetic operators, comparisons, selections,
+math intrinsic calls, casts, reductions, and tensor element reads.
+
+The expression nodes overload the Python arithmetic operators so that
+operator bodies can be written naturally inside ``te.compute`` lambdas::
+
+    C = te.compute((m, n), lambda y, x: te.sum(A[k, y] * B[k, x], axis=k))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "StringImm",
+    "BinaryOp",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "CmpOp",
+    "EQ",
+    "NE",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "And",
+    "Or",
+    "Not",
+    "Select",
+    "Call",
+    "Cast",
+    "Reduce",
+    "TensorRead",
+    "Range",
+    "const",
+    "as_expr",
+    "ExprVisitor",
+    "ExprMutator",
+    "simplify",
+    "substitute",
+    "collect_vars",
+    "expr_bounds",
+    "Interval",
+]
+
+ExprLike = Union["Expr", int, float, bool]
+
+
+class Expr:
+    """Base class for all scalar expressions."""
+
+    dtype: str = "float32"
+
+    # -- operator overloading -------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Sub(self, as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Sub(as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(as_expr(other), self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return Div(self, as_expr(other))
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return Div(as_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(self, as_expr(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(as_expr(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod(self, as_expr(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return Mod(as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Sub(const(0, self.dtype), self)
+
+    # Comparison operators intentionally return expression nodes; equality of
+    # nodes as Python objects should use ``same_as``.
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return EQ(self, as_expr(other))
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return NE(self, as_expr(other))
+
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return LT(self, as_expr(other))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return LE(self, as_expr(other))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return GT(self, as_expr(other))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return GE(self, as_expr(other))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def same_as(self, other: "Expr") -> bool:
+        """Reference equality (the IR uses structural sharing)."""
+        return self is other
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Cannot convert a symbolic expression to bool; "
+            "use explicit comparison helpers instead."
+        )
+
+
+class Var(Expr):
+    """A named scalar variable (loop index or symbolic dimension)."""
+
+    _counter = 0
+
+    def __init__(self, name: str = "v", dtype: str = "int32"):
+        if not name:
+            Var._counter += 1
+            name = f"v{Var._counter}"
+        self.name = name
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IntImm(Expr):
+    """Integer immediate."""
+
+    def __init__(self, value: int, dtype: str = "int32"):
+        self.value = int(value)
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class FloatImm(Expr):
+    """Floating point immediate."""
+
+    def __init__(self, value: float, dtype: str = "float32"):
+        self.value = float(value)
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class StringImm(Expr):
+    """String immediate, used for pragma values and intrinsic names."""
+
+    def __init__(self, value: str):
+        self.value = value
+        self.dtype = "handle"
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class BinaryOp(Expr):
+    """Base class of binary arithmetic operators."""
+
+    op_name = "?"
+
+    def __init__(self, a: Expr, b: Expr):
+        self.a = a
+        self.b = b
+        self.dtype = a.dtype if a.dtype != "int32" else b.dtype
+
+    def __repr__(self) -> str:
+        return f"({self.a} {self.op_name} {self.b})"
+
+
+class Add(BinaryOp):
+    op_name = "+"
+
+
+class Sub(BinaryOp):
+    op_name = "-"
+
+
+class Mul(BinaryOp):
+    op_name = "*"
+
+
+class Div(BinaryOp):
+    op_name = "/"
+
+
+class FloorDiv(BinaryOp):
+    op_name = "//"
+
+
+class Mod(BinaryOp):
+    op_name = "%"
+
+
+class Min(BinaryOp):
+    op_name = "min"
+
+    def __repr__(self) -> str:
+        return f"min({self.a}, {self.b})"
+
+
+class Max(BinaryOp):
+    op_name = "max"
+
+    def __repr__(self) -> str:
+        return f"max({self.a}, {self.b})"
+
+
+class CmpOp(BinaryOp):
+    """Base class of comparison operators; result dtype is boolean."""
+
+    def __init__(self, a: Expr, b: Expr):
+        super().__init__(a, b)
+        self.dtype = "bool"
+
+
+class EQ(CmpOp):
+    op_name = "=="
+
+
+class NE(CmpOp):
+    op_name = "!="
+
+
+class LT(CmpOp):
+    op_name = "<"
+
+
+class LE(CmpOp):
+    op_name = "<="
+
+
+class GT(CmpOp):
+    op_name = ">"
+
+
+class GE(CmpOp):
+    op_name = ">="
+
+
+class And(CmpOp):
+    op_name = "and"
+
+
+class Or(CmpOp):
+    op_name = "or"
+
+
+class Not(Expr):
+    def __init__(self, a: Expr):
+        self.a = a
+        self.dtype = "bool"
+
+    def __repr__(self) -> str:
+        return f"(not {self.a})"
+
+
+class Select(Expr):
+    """Ternary select: ``condition ? true_value : false_value``."""
+
+    def __init__(self, condition: Expr, true_value: Expr, false_value: Expr):
+        self.condition = condition
+        self.true_value = true_value
+        self.false_value = false_value
+        self.dtype = true_value.dtype
+
+    def __repr__(self) -> str:
+        return f"select({self.condition}, {self.true_value}, {self.false_value})"
+
+
+#: Math intrinsics the expression language understands, mapped to evaluators.
+MATH_INTRINSICS: Dict[str, Callable[..., float]] = {
+    "exp": math.exp,
+    "log": lambda x: math.log(x) if x > 0 else float("-inf"),
+    "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+    "tanh": math.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + math.exp(-x)),
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "popcount": lambda x: bin(int(x) & 0xFFFFFFFF).count("1"),
+}
+
+
+class Call(Expr):
+    """Call to a math intrinsic or a hardware intrinsic."""
+
+    def __init__(self, name: str, args: Sequence[Expr], dtype: str = "float32",
+                 call_type: str = "intrinsic"):
+        self.name = name
+        self.args = [as_expr(a) for a in args]
+        self.dtype = dtype
+        self.call_type = call_type
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+class Cast(Expr):
+    """Type conversion."""
+
+    def __init__(self, value: Expr, dtype: str):
+        self.value = value
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"{self.dtype}({self.value})"
+
+
+class Reduce(Expr):
+    """Commutative reduction over one or more reduction axes.
+
+    ``combiner`` is one of ``"sum"``, ``"max"``, ``"min"``.  ``axis`` holds
+    the :class:`~repro.te.tensor.IterVar` objects being reduced.
+    """
+
+    IDENTITY = {"sum": 0.0, "max": float("-inf"), "min": float("inf")}
+
+    def __init__(self, combiner: str, source: Expr, axis: Sequence[object],
+                 init: Optional[Expr] = None):
+        if combiner not in self.IDENTITY:
+            raise ValueError(f"Unsupported reduction combiner: {combiner}")
+        self.combiner = combiner
+        self.source = source
+        self.axis = list(axis)
+        self.init = init
+        self.dtype = source.dtype
+
+    def combine(self, acc: float, value: float) -> float:
+        if self.combiner == "sum":
+            return acc + value
+        if self.combiner == "max":
+            return max(acc, value)
+        return min(acc, value)
+
+    @property
+    def identity(self) -> float:
+        return self.IDENTITY[self.combiner]
+
+    def __repr__(self) -> str:
+        axes = ", ".join(str(iv.var) for iv in self.axis)
+        return f"{self.combiner}({self.source}, axis=[{axes}])"
+
+
+class TensorRead(Expr):
+    """Read of a tensor element at symbolic indices (producer load)."""
+
+    def __init__(self, tensor: object, indices: Sequence[ExprLike]):
+        self.tensor = tensor
+        self.indices = [as_expr(i) for i in indices]
+        self.dtype = getattr(tensor, "dtype", "float32")
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{getattr(self.tensor, 'name', 'tensor')}[{idx}]"
+
+
+class Range:
+    """A half-open integer range ``[min, min + extent)``."""
+
+    def __init__(self, min_value: ExprLike, extent: ExprLike):
+        self.min = as_expr(min_value)
+        self.extent = as_expr(extent)
+
+    @staticmethod
+    def from_extent(extent: ExprLike) -> "Range":
+        return Range(0, extent)
+
+    def __repr__(self) -> str:
+        return f"range(min={self.min}, extent={self.extent})"
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def const(value: Union[int, float, bool], dtype: Optional[str] = None) -> Expr:
+    """Create an immediate expression from a Python number."""
+    if isinstance(value, bool):
+        return IntImm(int(value), dtype or "bool")
+    if isinstance(value, int):
+        return IntImm(value, dtype or "int32")
+    return FloatImm(float(value), dtype or "float32")
+
+
+def as_expr(value: object) -> Expr:
+    """Coerce a Python value into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return const(value)
+    if isinstance(value, str):
+        return StringImm(value)
+    # IterVar quacks like a variable via its ``var`` attribute.
+    var = getattr(value, "var", None)
+    if isinstance(var, Var):
+        return var
+    raise TypeError(f"Cannot convert {value!r} to an expression")
+
+
+# ---------------------------------------------------------------------------
+# Visitors
+# ---------------------------------------------------------------------------
+
+class ExprVisitor:
+    """Generic read-only traversal of an expression tree."""
+
+    def visit(self, expr: Expr) -> None:
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is not None:
+            method(expr)
+        else:
+            self.generic_visit(expr)
+
+    def generic_visit(self, expr: Expr) -> None:
+        for child in expr_children(expr):
+            self.visit(child)
+
+
+class ExprMutator:
+    """Generic rebuild-on-the-way-up mutation of an expression tree."""
+
+    def visit(self, expr: Expr) -> Expr:
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is not None:
+            return method(expr)
+        return self.generic_visit(expr)
+
+    def generic_visit(self, expr: Expr) -> Expr:
+        if isinstance(expr, BinaryOp):
+            a = self.visit(expr.a)
+            b = self.visit(expr.b)
+            if a is expr.a and b is expr.b:
+                return expr
+            return type(expr)(a, b)
+        if isinstance(expr, Not):
+            a = self.visit(expr.a)
+            return expr if a is expr.a else Not(a)
+        if isinstance(expr, Select):
+            c = self.visit(expr.condition)
+            t = self.visit(expr.true_value)
+            f = self.visit(expr.false_value)
+            if c is expr.condition and t is expr.true_value and f is expr.false_value:
+                return expr
+            return Select(c, t, f)
+        if isinstance(expr, Call):
+            args = [self.visit(a) for a in expr.args]
+            if all(n is o for n, o in zip(args, expr.args)):
+                return expr
+            return Call(expr.name, args, expr.dtype, expr.call_type)
+        if isinstance(expr, Cast):
+            v = self.visit(expr.value)
+            return expr if v is expr.value else Cast(v, expr.dtype)
+        if isinstance(expr, Reduce):
+            src = self.visit(expr.source)
+            if src is expr.source:
+                return expr
+            return Reduce(expr.combiner, src, expr.axis, expr.init)
+        if isinstance(expr, TensorRead):
+            indices = [self.visit(i) for i in expr.indices]
+            if all(n is o for n, o in zip(indices, expr.indices)):
+                return expr
+            return TensorRead(expr.tensor, indices)
+        return expr
+
+
+def expr_children(expr: Expr) -> List[Expr]:
+    """Return the immediate sub-expressions of ``expr``."""
+    if isinstance(expr, BinaryOp):
+        return [expr.a, expr.b]
+    if isinstance(expr, Not):
+        return [expr.a]
+    if isinstance(expr, Select):
+        return [expr.condition, expr.true_value, expr.false_value]
+    if isinstance(expr, Call):
+        return list(expr.args)
+    if isinstance(expr, Cast):
+        return [expr.value]
+    if isinstance(expr, Reduce):
+        return [expr.source]
+    if isinstance(expr, TensorRead):
+        return list(expr.indices)
+    return []
+
+
+def collect_vars(expr: Expr) -> List[Var]:
+    """Collect all distinct :class:`Var` nodes appearing in ``expr``."""
+    seen: List[Var] = []
+
+    def _add(v: Var) -> None:
+        if not any(v is existing for existing in seen):
+            seen.append(v)
+
+    def _walk(e: Expr) -> None:
+        if isinstance(e, Var):
+            _add(e)
+            return
+        for child in expr_children(e):
+            _walk(child)
+        if isinstance(e, Reduce):
+            for iv in e.axis:
+                _add(iv.var)
+
+    _walk(expr)
+    return seen
+
+
+class _Substituter(ExprMutator):
+    def __init__(self, mapping: Dict[Var, Expr]):
+        self.mapping = mapping
+
+    def visit_var(self, expr: Var) -> Expr:
+        return self.mapping.get(expr, expr)
+
+
+def substitute(expr: Expr, mapping: Dict[Var, ExprLike]) -> Expr:
+    """Substitute variables in ``expr`` using ``mapping``."""
+    cleaned = {k: as_expr(v) for k, v in mapping.items()}
+    return _Substituter(cleaned).visit(expr)
+
+
+# ---------------------------------------------------------------------------
+# Simplification (constant folding of arithmetic on immediates)
+# ---------------------------------------------------------------------------
+
+def _imm_value(expr: Expr) -> Optional[Union[int, float]]:
+    if isinstance(expr, (IntImm, FloatImm)):
+        return expr.value
+    return None
+
+
+class _Simplifier(ExprMutator):
+    _FOLD = {
+        Add: lambda a, b: a + b,
+        Sub: lambda a, b: a - b,
+        Mul: lambda a, b: a * b,
+        Div: lambda a, b: a / b if b != 0 else float("nan"),
+        FloorDiv: lambda a, b: a // b if b != 0 else 0,
+        Mod: lambda a, b: a % b if b != 0 else 0,
+        Min: min,
+        Max: max,
+        EQ: lambda a, b: int(a == b),
+        NE: lambda a, b: int(a != b),
+        LT: lambda a, b: int(a < b),
+        LE: lambda a, b: int(a <= b),
+        GT: lambda a, b: int(a > b),
+        GE: lambda a, b: int(a >= b),
+    }
+
+    def generic_visit(self, expr: Expr) -> Expr:
+        expr = super().generic_visit(expr)
+        if isinstance(expr, BinaryOp):
+            a, b = _imm_value(expr.a), _imm_value(expr.b)
+            if a is not None and b is not None:
+                value = self._FOLD[type(expr)](a, b)
+                if isinstance(expr.a, IntImm) and isinstance(expr.b, IntImm):
+                    return IntImm(int(value))
+                return FloatImm(float(value))
+            # algebraic identities
+            if isinstance(expr, Add):
+                if a == 0:
+                    return expr.b
+                if b == 0:
+                    return expr.a
+            if isinstance(expr, Sub) and b == 0:
+                return expr.a
+            if isinstance(expr, Mul):
+                if a == 1:
+                    return expr.b
+                if b == 1:
+                    return expr.a
+                if a == 0 or b == 0:
+                    return IntImm(0) if expr.dtype.startswith("int") else FloatImm(0.0)
+            if isinstance(expr, (Div, FloorDiv)) and b == 1:
+                return expr.a
+        return expr
+
+
+def structural_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality of two expressions (same shape and leaf values)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Var):
+        return a is b
+    if isinstance(a, (IntImm, FloatImm, StringImm)):
+        return a.value == b.value
+    if isinstance(a, Call) and a.name != b.name:
+        return False
+    children_a, children_b = expr_children(a), expr_children(b)
+    if len(children_a) != len(children_b):
+        return False
+    return all(structural_equal(x, y) for x, y in zip(children_a, children_b))
+
+
+def simplify(expr: ExprLike) -> Expr:
+    """Constant-fold and apply simple algebraic identities."""
+    result = _Simplifier().visit(as_expr(expr))
+    # Cancel exact self-subtraction produced by buffer rebasing: (x + e) - e.
+    if isinstance(result, Sub):
+        if structural_equal(result.a, result.b):
+            return IntImm(0)
+        if isinstance(result.a, Add) and structural_equal(result.a.b, result.b):
+            return result.a.a
+        if isinstance(result.a, Add) and structural_equal(result.a.a, result.b):
+            return result.a.b
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic (used for bound inference of affine index expressions)
+# ---------------------------------------------------------------------------
+
+class Interval:
+    """Closed integer interval ``[low, high]`` used for bound analysis."""
+
+    def __init__(self, low: float, high: float):
+        self.low = low
+        self.high = high
+
+    @property
+    def extent(self) -> float:
+        return self.high - self.low + 1
+
+    def __repr__(self) -> str:
+        return f"[{self.low}, {self.high}]"
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+
+def expr_bounds(expr: Expr, var_ranges: Dict[Var, Interval]) -> Interval:
+    """Compute a conservative interval for ``expr``.
+
+    ``var_ranges`` maps each free variable to its interval.  Only the affine
+    subset (plus min/max/floordiv/mod/select) is handled precisely; anything
+    unknown falls back to the widest interval seen among operands.
+    """
+    if isinstance(expr, Var):
+        if expr in var_ranges:
+            return var_ranges[expr]
+        raise KeyError(f"No range known for variable {expr}")
+    if isinstance(expr, (IntImm, FloatImm)):
+        return Interval(expr.value, expr.value)
+    if isinstance(expr, Add):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        return Interval(a.low + b.low, a.high + b.high)
+    if isinstance(expr, Sub):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        return Interval(a.low - b.high, a.high - b.low)
+    if isinstance(expr, Mul):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        candidates = [a.low * b.low, a.low * b.high, a.high * b.low, a.high * b.high]
+        return Interval(min(candidates), max(candidates))
+    if isinstance(expr, (Div, FloorDiv)):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        divisors = [d for d in (b.low, b.high) if d != 0]
+        if not divisors:
+            return a
+        candidates = [a.low / d for d in divisors] + [a.high / d for d in divisors]
+        if isinstance(expr, FloorDiv):
+            candidates = [math.floor(c) for c in candidates]
+        return Interval(min(candidates), max(candidates))
+    if isinstance(expr, Mod):
+        a = expr_bounds(expr.a, var_ranges)
+        b = expr_bounds(expr.b, var_ranges)
+        if b.low == b.high and b.low > 0:
+            divisor = b.low
+            # When the numerator stays within one quotient block, the result
+            # is simply the shifted interval (important for the fuse-then-
+            # split index patterns produced by schedules).
+            if math.floor(a.low / divisor) == math.floor(a.high / divisor):
+                return Interval(a.low % divisor, a.high % divisor)
+            return Interval(0, divisor - 1)
+        return Interval(0, max(abs(b.low), abs(b.high)) - 1)
+    if isinstance(expr, Min):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        return Interval(min(a.low, b.low), min(a.high, b.high))
+    if isinstance(expr, Max):
+        a, b = expr_bounds(expr.a, var_ranges), expr_bounds(expr.b, var_ranges)
+        return Interval(max(a.low, b.low), max(a.high, b.high))
+    if isinstance(expr, Select):
+        t = expr_bounds(expr.true_value, var_ranges)
+        f = expr_bounds(expr.false_value, var_ranges)
+        return t.union(f)
+    if isinstance(expr, Cast):
+        return expr_bounds(expr.value, var_ranges)
+    # Conservative fallback: union of operand intervals.
+    children = expr_children(expr)
+    if not children:
+        return Interval(0, 0)
+    result = expr_bounds(children[0], var_ranges)
+    for child in children[1:]:
+        result = result.union(expr_bounds(child, var_ranges))
+    return result

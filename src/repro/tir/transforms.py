@@ -1,0 +1,384 @@
+"""TIR-level transformation passes.
+
+Implements the post-lowering transformations the paper relies on:
+
+* ``unroll_loops`` — explicit unrolling of loops marked ``unroll``.
+* ``inject_virtual_threads`` — Figure 8's virtual thread lowering: a loop
+  bound to a ``vthread`` axis is expanded into per-thread copies whose
+  load / execute / store operations are interleaved into a single stream and
+  separated by explicit dependence push/pop tokens, so that a decoupled
+  access-execute (DAE) accelerator can recover pipeline parallelism.
+* ``inject_dae_synchronization`` — inserts RAW/WAR dependence tokens between
+  pipeline stages of an already-flattened instruction sequence (Figure 9).
+* ``simplify_pass`` — constant folding over all expressions in a program.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..te.expr import Expr, IntImm, Var, as_expr, simplify, substitute
+from .stmt import (
+    Allocate,
+    AttrStmt,
+    Barrier,
+    Buffer,
+    BufferLoad,
+    BufferStore,
+    DepPop,
+    DepPush,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    IntrinsicStmt,
+    LoweredFunc,
+    SeqStmt,
+    Stmt,
+    seq,
+)
+
+__all__ = [
+    "unroll_loops",
+    "inject_virtual_threads",
+    "inject_dae_synchronization",
+    "simplify_pass",
+    "substitute_stmt",
+    "map_buffers",
+    "count_statements",
+]
+
+
+# ---------------------------------------------------------------------------
+# Generic statement rewriting helpers
+# ---------------------------------------------------------------------------
+
+def _rebuild(stmt: Stmt, transform) -> Stmt:
+    """Rebuild a statement, applying ``transform`` to each child statement."""
+    if isinstance(stmt, SeqStmt):
+        return SeqStmt([transform(s) for s in stmt.stmts])
+    if isinstance(stmt, For):
+        return For(stmt.loop_var, stmt.min, stmt.extent, transform(stmt.body),
+                   stmt.kind, stmt.thread_tag)
+    if isinstance(stmt, IfThenElse):
+        else_body = transform(stmt.else_body) if stmt.else_body is not None else None
+        return IfThenElse(stmt.condition, transform(stmt.then_body), else_body)
+    if isinstance(stmt, Allocate):
+        return Allocate(stmt.buffer, transform(stmt.body))
+    if isinstance(stmt, AttrStmt):
+        return AttrStmt(stmt.key, stmt.node, stmt.value, transform(stmt.body))
+    return stmt
+
+
+def substitute_stmt(stmt: Stmt, mapping: Dict[Var, Expr]) -> Stmt:
+    """Substitute variables in every expression of a statement tree."""
+
+    def sub_expr(expr: Expr) -> Expr:
+        return simplify(substitute(expr, mapping))
+
+    def rec(node: Stmt) -> Stmt:
+        if isinstance(node, BufferStore):
+            return BufferStore(node.buffer,
+                               [sub_expr(i) for i in node.indices],
+                               _sub_loads(node.value, mapping))
+        if isinstance(node, IfThenElse):
+            else_body = rec(node.else_body) if node.else_body is not None else None
+            return IfThenElse(_sub_loads(node.condition, mapping),
+                              rec(node.then_body), else_body)
+        if isinstance(node, For):
+            return For(node.loop_var, sub_expr(node.min), sub_expr(node.extent),
+                       rec(node.body), node.kind, node.thread_tag)
+        if isinstance(node, Evaluate):
+            return Evaluate(_sub_loads(node.expr, mapping))
+        if isinstance(node, IntrinsicStmt):
+            return IntrinsicStmt(
+                node.name, node.intrin, node.inputs, node.output,
+                [[sub_expr(i) for i in offs] for offs in node.input_offsets],
+                [sub_expr(i) for i in node.output_offset],
+                node.reduction_update, node.pipeline_stage)
+        return _rebuild(node, rec)
+
+    return rec(stmt)
+
+
+def _sub_loads(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
+    """Substitute variables inside an expression, preserving BufferLoad nodes."""
+    if isinstance(expr, BufferLoad):
+        return BufferLoad(expr.buffer,
+                          [simplify(substitute(_sub_loads(i, mapping), {}))
+                           if isinstance(i, BufferLoad)
+                           else simplify(substitute(i, mapping))
+                           for i in expr.indices])
+    from ..te.expr import ExprMutator
+
+    class _M(ExprMutator):
+        def visit_var(self, node: Var) -> Expr:
+            return mapping.get(node, node)
+
+        def visit_bufferload(self, node: BufferLoad) -> Expr:  # type: ignore[override]
+            return BufferLoad(node.buffer, [self.visit(i) for i in node.indices])
+
+    return simplify(_M().visit(expr))
+
+
+def map_buffers(stmt: Stmt, mapping: Dict[str, Buffer]) -> Stmt:
+    """Replace buffer references by name (used by virtual-thread expansion)."""
+
+    def remap_expr(expr: Expr) -> Expr:
+        from ..te.expr import ExprMutator
+
+        class _M(ExprMutator):
+            def visit_bufferload(self, node: BufferLoad) -> Expr:  # type: ignore[override]
+                buf = mapping.get(node.buffer.name, node.buffer)
+                return BufferLoad(buf, [self.visit(i) for i in node.indices])
+
+        return _M().visit(expr)
+
+    def rec(node: Stmt) -> Stmt:
+        if isinstance(node, BufferStore):
+            buf = mapping.get(node.buffer.name, node.buffer)
+            return BufferStore(buf, [remap_expr(i) for i in node.indices],
+                               remap_expr(node.value))
+        if isinstance(node, IntrinsicStmt):
+            return IntrinsicStmt(
+                node.name, node.intrin,
+                [mapping.get(b.name, b) for b in node.inputs],
+                mapping.get(node.output.name, node.output),
+                node.input_offsets, node.output_offset,
+                node.reduction_update, node.pipeline_stage)
+        if isinstance(node, Allocate):
+            buf = mapping.get(node.buffer.name, node.buffer)
+            return Allocate(buf, rec(node.body))
+        if isinstance(node, Evaluate):
+            return Evaluate(remap_expr(node.expr))
+        return _rebuild(node, rec)
+
+    return rec(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Unrolling
+# ---------------------------------------------------------------------------
+
+def unroll_loops(stmt: Stmt, max_extent: int = 16) -> Stmt:
+    """Fully unroll loops annotated ``unroll`` whose extent is small enough."""
+
+    def rec(node: Stmt) -> Stmt:
+        if isinstance(node, For) and node.kind == ForKind.UNROLLED:
+            try:
+                extent = node.extent_value()
+            except ValueError:
+                extent = max_extent + 1
+            body = rec(node.body)
+            if extent <= max_extent:
+                copies = [substitute_stmt(body, {node.loop_var: as_expr(i)})
+                          for i in range(extent)]
+                return seq(*copies)
+            return For(node.loop_var, node.min, node.extent, body,
+                       ForKind.SERIAL, node.thread_tag)
+        return _rebuild(node, rec)
+
+    return rec(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Virtual thread lowering (Figure 8)
+# ---------------------------------------------------------------------------
+
+def inject_virtual_threads(func: LoweredFunc) -> LoweredFunc:
+    """Lower ``vthread`` loops into interleaved per-thread instruction streams.
+
+    Each virtual thread receives a private copy of the buffers allocated
+    inside the loop (the paper's ``CL[2][8]`` duplication), the loop body is
+    duplicated per thread with the vthread index substituted, and explicit
+    RAW/WAR dependence tokens are pushed/popped between the load (``ld``) and
+    execute (``ex``) pipeline stages so the accelerator can overlap them.
+    """
+    new_allocations = list(func.allocations)
+
+    def rec(node: Stmt) -> Stmt:
+        if isinstance(node, For) and node.kind == ForKind.VTHREAD:
+            try:
+                extent = node.extent_value()
+            except ValueError:
+                extent = 1
+            body = rec(node.body)
+            copies: List[Stmt] = []
+            for thread_id in range(extent):
+                # Give this virtual thread its own copies of locally scoped
+                # buffers so loads for thread i+1 can overlap execution of i.
+                local_buffers = _collect_local_buffers(body)
+                remap: Dict[str, Buffer] = {}
+                for buf in local_buffers:
+                    clone = Buffer(f"{buf.name}.vt{thread_id}", buf.shape,
+                                   buf.dtype, buf.scope)
+                    remap[buf.name] = clone
+                    new_allocations.append(clone)
+                thread_body = map_buffers(body, remap)
+                thread_body = substitute_stmt(thread_body,
+                                              {node.loop_var: as_expr(thread_id)})
+                copies.append(AttrStmt("vthread_instance", node.loop_var,
+                                       thread_id, thread_body))
+            interleaved = _interleave_vthreads(copies)
+            return interleaved
+        return _rebuild(node, rec)
+
+    body = rec(func.body)
+
+    # Insert dependence tokens into every statement sequence so the DAE
+    # pipeline can recover parallelism at whatever loop level the load /
+    # execute / store operations ended up after interleaving.
+    def apply_dae(node: Stmt) -> Stmt:
+        node = _rebuild(node, apply_dae)
+        if isinstance(node, SeqStmt):
+            return inject_dae_synchronization(node)
+        return node
+
+    body = apply_dae(body)
+    return LoweredFunc(func.name, func.args, body, new_allocations)
+
+
+def _collect_local_buffers(stmt: Stmt) -> List[Buffer]:
+    """Buffers written inside ``stmt`` that live in on-chip scopes."""
+    found: Dict[str, Buffer] = {}
+
+    def rec(node: Stmt) -> None:
+        if isinstance(node, BufferStore) and node.buffer.scope != "global":
+            found[node.buffer.name] = node.buffer
+        if isinstance(node, IntrinsicStmt) and node.output.scope != "global":
+            found[node.output.name] = node.output
+        for child in _children(node):
+            rec(child)
+
+    rec(stmt)
+    return list(found.values())
+
+
+def _children(stmt: Stmt) -> List[Stmt]:
+    if isinstance(stmt, SeqStmt):
+        return list(stmt.stmts)
+    if isinstance(stmt, For):
+        return [stmt.body]
+    if isinstance(stmt, IfThenElse):
+        out = [stmt.then_body]
+        if stmt.else_body is not None:
+            out.append(stmt.else_body)
+        return out
+    if isinstance(stmt, (Allocate, AttrStmt)):
+        return [stmt.body]
+    return []
+
+
+def _interleave_vthreads(copies: Sequence[Stmt]) -> Stmt:
+    """Interleave the top-level operations of each virtual thread copy.
+
+    The per-thread bodies are flattened into operation lists; operations are
+    then emitted round-robin (thread 0 op 0, thread 1 op 0, thread 0 op 1,
+    ...), which matches Figure 8's final single instruction stream.
+    """
+    streams = [_flatten_ops(c) for c in copies]
+    interleaved: List[Stmt] = []
+    max_len = max((len(s) for s in streams), default=0)
+    for index in range(max_len):
+        for stream in streams:
+            if index < len(stream):
+                interleaved.append(stream[index])
+    return seq(*interleaved)
+
+
+def _flatten_ops(stmt: Stmt) -> List[Stmt]:
+    """Flatten a virtual-thread body into a list of schedulable operations.
+
+    Loops are kept intact (they are a single pipelined operation from the
+    interleaver's point of view) unless they directly contain a sequence of
+    operations, in which case the loop is preserved as one unit as well.
+    """
+    if isinstance(stmt, AttrStmt) and stmt.key == "vthread_instance":
+        inner = _flatten_ops(stmt.body)
+        return [AttrStmt(stmt.key, stmt.node, stmt.value, op) for op in inner]
+    if isinstance(stmt, SeqStmt):
+        ops: List[Stmt] = []
+        for sub in stmt.stmts:
+            ops.extend(_flatten_ops(sub))
+        return ops
+    return [stmt]
+
+
+def inject_dae_synchronization(stmt: Stmt) -> Stmt:
+    """Insert dependence push/pop tokens between DAE pipeline stages.
+
+    Operations are classified as ``ld`` (stores into on-chip input/weight
+    buffers), ``ex`` (intrinsic calls and stores into accumulation buffers)
+    or ``st`` (stores back to global memory).  A RAW token is pushed from a
+    producer stage to its consumer stage and popped by the consumer before it
+    runs; a WAR token flows in the opposite direction, allowing bounded
+    buffering exactly as in Figure 9.
+    """
+    if not isinstance(stmt, SeqStmt):
+        return stmt
+
+    def classify(op: Stmt) -> Optional[str]:
+        node = op
+        while isinstance(node, AttrStmt):
+            node = node.body
+        if isinstance(node, IntrinsicStmt):
+            return "ex"
+        if isinstance(node, For):
+            return classify(node.body)
+        if isinstance(node, SeqStmt):
+            for sub in node.stmts:
+                result = classify(sub)
+                if result is not None:
+                    return result
+            return None
+        if isinstance(node, BufferStore):
+            scope = node.buffer.scope
+            if scope in ("inp_buffer", "wgt_buffer", "shared"):
+                return "ld"
+            if scope in ("acc_buffer", "local"):
+                return "ex"
+            if scope == "global":
+                return "st"
+        return None
+
+    result: List[Stmt] = []
+    previous_stage: Optional[str] = None
+    for op in stmt.stmts:
+        stage = classify(op)
+        if stage is not None and previous_stage is not None and stage != previous_stage:
+            # RAW dependence from the previous stage to this one.
+            result.append(DepPush(previous_stage, stage))
+            result.append(DepPop(previous_stage, stage))
+        result.append(op)
+        if stage is not None:
+            # WAR token back to the producer so it may reuse its buffer slot.
+            if previous_stage is not None and stage != previous_stage:
+                result.append(DepPush(stage, previous_stage))
+            previous_stage = stage
+    return SeqStmt(result)
+
+
+# ---------------------------------------------------------------------------
+# Misc passes
+# ---------------------------------------------------------------------------
+
+def simplify_pass(func: LoweredFunc) -> LoweredFunc:
+    """Constant-fold every expression in the program."""
+    body = substitute_stmt(func.body, {})
+    return LoweredFunc(func.name, func.args, body, func.allocations)
+
+
+def count_statements(stmt: Stmt) -> Dict[str, int]:
+    """Count statement node types (useful for tests and ablations)."""
+    counts: Dict[str, int] = {}
+
+    def rec(node: Stmt) -> None:
+        counts[type(node).__name__] = counts.get(type(node).__name__, 0) + 1
+        for child in _children(node):
+            rec(child)
+        if isinstance(node, IfThenElse) and node.else_body is not None:
+            pass
+
+    rec(stmt)
+    return counts

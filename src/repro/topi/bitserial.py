@@ -1,0 +1,61 @@
+"""Ultra low-precision (bit-serial) convolution declarations (Section 6.2).
+
+Low-precision inference packs quantized activations/weights into standard
+integer words and replaces multiplication with AND + popcount reductions.
+The declaration below mirrors that structure so its lowered loop program has
+the right operation counts and memory traffic for the cost models; numerical
+results come from :func:`repro.topi.reference.bitserial_conv2d_nchw`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .. import te
+
+__all__ = ["bitserial_conv2d_packed", "packed_shape"]
+
+
+def packed_shape(channels: int, word_bits: int = 32) -> int:
+    """Number of machine words needed to pack ``channels`` 1-bit lanes."""
+    return max(1, math.ceil(channels / word_bits))
+
+
+def bitserial_conv2d_packed(batch: int, in_channels: int, height: int, width: int,
+                            out_channels: int, kernel: int, stride: int,
+                            padding: int, activation_bits: int = 2,
+                            weight_bits: int = 1, word_bits: int = 32,
+                            name: str = "bitserial_conv2d"
+                            ) -> Tuple[te.Tensor, te.Tensor, te.Tensor]:
+    """Declare a packed bit-serial conv2d.
+
+    Returns ``(data_packed, kernel_packed, output)`` where the packed inputs
+    have the per-bit-plane layout ``(N, AB, C_words, H, W)`` /
+    ``(F, WB, C_words, KH, KW)``.
+    """
+    c_words = packed_shape(in_channels, word_bits)
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+
+    data = te.placeholder((batch, activation_bits, c_words, height + 2 * padding,
+                           width + 2 * padding), dtype="int32", name=f"{name}_data")
+    weight = te.placeholder((out_channels, weight_bits, c_words, kernel, kernel),
+                            dtype="int32", name=f"{name}_weight")
+
+    ab = te.reduce_axis((0, activation_bits), name="ab")
+    wb = te.reduce_axis((0, weight_bits), name="wb")
+    ry = te.reduce_axis((0, kernel), name="ry")
+    rx = te.reduce_axis((0, kernel), name="rx")
+    rcw = te.reduce_axis((0, c_words), name="rcw")
+
+    out = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, f, y, x: te.sum(
+            te.Call("popcount",
+                    [data[n, ab, rcw, y * stride + ry, x * stride + rx]
+                     * weight[f, wb, rcw, ry, rx]], dtype="int32")
+            * (1 << 0),
+            axis=[ab, wb, ry, rx, rcw]),
+        name=name, dtype="int32")
+    return data, weight, out

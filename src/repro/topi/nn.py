@@ -1,0 +1,366 @@
+"""Tensor-expression declarations of deep-learning operators.
+
+Each function returns output :class:`~repro.te.tensor.Tensor` objects built
+from ``te.compute`` / ``te.placeholder``; scheduling is handled separately by
+the per-backend templates in :mod:`repro.topi.schedules`.  Shapes follow the
+NCHW layout used throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from .. import te
+from ..te.expr import Select, as_expr
+
+__all__ = [
+    "pad",
+    "conv2d_nchw",
+    "depthwise_conv2d_nchw",
+    "conv2d_transpose_nchw",
+    "dense",
+    "matmul",
+    "bias_add",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "add",
+    "multiply",
+    "batch_norm_inference",
+    "softmax",
+    "flatten",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def pad(data: te.Tensor, pad_before: Sequence[int], pad_after: Sequence[int],
+        pad_value: float = 0.0, name: str = "pad") -> te.Tensor:
+    """Zero-pad a tensor (used to implement "SAME" convolution padding)."""
+    if len(pad_before) != len(data.shape) or len(pad_after) != len(data.shape):
+        raise ValueError("pad_before/pad_after must match tensor rank")
+    out_shape = [int(te.simplify(dim).value) + b + a
+                 for dim, b, a in zip(data.shape, pad_before, pad_after)]
+
+    def _compute(*indices):
+        condition = None
+        src_indices = []
+        for idx, before, dim in zip(indices, pad_before, data.shape_values()):
+            src = idx - before
+            src_indices.append(src)
+            if before > 0 or out_shape[len(src_indices) - 1] > dim + before:
+                check = (src >= 0) if before > 0 else None
+                upper = (src < dim)
+                for cond in (check, upper):
+                    if cond is None:
+                        continue
+                    condition = cond if condition is None else te.expr.And(condition, cond)
+        value = data[tuple(src_indices)]
+        if condition is None:
+            return value
+        return Select(condition, value, as_expr(float(pad_value)))
+
+    return te.compute(out_shape, _compute, name=name)
+
+
+def conv2d_nchw(data: te.Tensor, kernel: te.Tensor, stride: IntPair = 1,
+                padding: IntPair = 0, dilation: IntPair = 1,
+                out_dtype: Optional[str] = None,
+                name: str = "conv2d") -> te.Tensor:
+    """2-D convolution, NCHW data layout, OIHW kernel layout."""
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    dil_h, dil_w = _pair(dilation)
+    batch, in_channel, in_h, in_w = data.shape_values()
+    out_channel, channel, k_h, k_w = kernel.shape_values()
+    if channel != in_channel:
+        raise ValueError(f"conv2d channel mismatch: data {in_channel} vs kernel {channel}")
+    dilated_kh = (k_h - 1) * dil_h + 1
+    dilated_kw = (k_w - 1) * dil_w + 1
+    out_h = (in_h + 2 * pad_h - dilated_kh) // stride_h + 1
+    out_w = (in_w + 2 * pad_w - dilated_kw) // stride_w + 1
+    out_dtype = out_dtype or data.dtype
+
+    if pad_h or pad_w:
+        padded = pad(data, (0, 0, pad_h, pad_w), (0, 0, pad_h, pad_w),
+                     name=f"{name}_pad")
+    else:
+        padded = data
+
+    rc = te.reduce_axis((0, in_channel), name="rc")
+    ry = te.reduce_axis((0, k_h), name="ry")
+    rx = te.reduce_axis((0, k_w), name="rx")
+    return te.compute(
+        (batch, out_channel, out_h, out_w),
+        lambda n, f, y, x: te.sum(
+            padded[n, rc, y * stride_h + ry * dil_h, x * stride_w + rx * dil_w]
+            * kernel[f, rc, ry, rx],
+            axis=[rc, ry, rx]),
+        name=name, dtype=out_dtype)
+
+
+def depthwise_conv2d_nchw(data: te.Tensor, kernel: te.Tensor, stride: IntPair = 1,
+                          padding: IntPair = 0,
+                          name: str = "depthwise_conv2d") -> te.Tensor:
+    """Depthwise 2-D convolution (channel multiplier 1), NCHW layout."""
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    batch, in_channel, in_h, in_w = data.shape_values()
+    channel, _multiplier, k_h, k_w = kernel.shape_values()
+    if channel != in_channel:
+        raise ValueError("depthwise_conv2d channel mismatch")
+    out_h = (in_h + 2 * pad_h - k_h) // stride_h + 1
+    out_w = (in_w + 2 * pad_w - k_w) // stride_w + 1
+
+    if pad_h or pad_w:
+        padded = pad(data, (0, 0, pad_h, pad_w), (0, 0, pad_h, pad_w),
+                     name=f"{name}_pad")
+    else:
+        padded = data
+
+    ry = te.reduce_axis((0, k_h), name="ry")
+    rx = te.reduce_axis((0, k_w), name="rx")
+    return te.compute(
+        (batch, in_channel, out_h, out_w),
+        lambda n, c, y, x: te.sum(
+            padded[n, c, y * stride_h + ry, x * stride_w + rx] * kernel[c, 0, ry, rx],
+            axis=[ry, rx]),
+        name=name)
+
+
+def conv2d_transpose_nchw(data: te.Tensor, kernel: te.Tensor, stride: IntPair = 1,
+                          padding: IntPair = 0,
+                          name: str = "conv2d_transpose") -> te.Tensor:
+    """Transposed convolution (deconvolution) used by the DCGAN generator.
+
+    Declared as a convolution over a zero-dilated, padded input so it stays
+    inside the affine index language understood by the lowering pipeline.
+    """
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    batch, in_channel, in_h, in_w = data.shape_values()
+    _ic, out_channel, k_h, k_w = kernel.shape_values()
+    out_h = (in_h - 1) * stride_h - 2 * pad_h + k_h
+    out_w = (in_w - 1) * stride_w - 2 * pad_w + k_w
+
+    # Dilate the input with the stride, then run a unit-stride convolution
+    # with a spatially flipped kernel.
+    dil_h = in_h + (in_h - 1) * (stride_h - 1)
+    dil_w = in_w + (in_w - 1) * (stride_w - 1)
+    dilated = te.compute(
+        (batch, in_channel, dil_h, dil_w),
+        lambda n, c, y, x: Select(
+            te.expr.And(te.expr.EQ(y % stride_h, 0), te.expr.EQ(x % stride_w, 0)),
+            data[n, c, y // stride_h, x // stride_w], as_expr(0.0)),
+        name=f"{name}_dilate")
+    border_h = k_h - 1 - pad_h
+    border_w = k_w - 1 - pad_w
+    padded = pad(dilated, (0, 0, border_h, border_w), (0, 0, border_h, border_w),
+                 name=f"{name}_pad")
+
+    rc = te.reduce_axis((0, in_channel), name="rc")
+    ry = te.reduce_axis((0, k_h), name="ry")
+    rx = te.reduce_axis((0, k_w), name="rx")
+    return te.compute(
+        (batch, out_channel, out_h, out_w),
+        lambda n, f, y, x: te.sum(
+            padded[n, rc, y + ry, x + rx] * kernel[rc, f, k_h - 1 - ry, k_w - 1 - rx],
+            axis=[rc, ry, rx]),
+        name=name)
+
+
+def matmul(a: te.Tensor, b: te.Tensor, trans_a: bool = False, trans_b: bool = False,
+           name: str = "matmul") -> te.Tensor:
+    """General matrix multiplication ``C = op(A) x op(B)``."""
+    a_shape = a.shape_values()
+    b_shape = b.shape_values()
+    m = a_shape[1] if trans_a else a_shape[0]
+    ka = a_shape[0] if trans_a else a_shape[1]
+    kb = b_shape[1] if trans_b else b_shape[0]
+    n = b_shape[0] if trans_b else b_shape[1]
+    if ka != kb:
+        raise ValueError(f"matmul inner dimensions do not match: {ka} vs {kb}")
+    k = te.reduce_axis((0, ka), name="k")
+
+    def read_a(i, kk):
+        return a[kk, i] if trans_a else a[i, kk]
+
+    def read_b(kk, j):
+        return b[j, kk] if trans_b else b[kk, j]
+
+    return te.compute((m, n),
+                      lambda i, j: te.sum(read_a(i, k) * read_b(k, j), axis=k),
+                      name=name)
+
+
+def dense(data: te.Tensor, weight: te.Tensor, bias: Optional[te.Tensor] = None,
+          name: str = "dense") -> te.Tensor:
+    """Fully connected layer: ``out[i, j] = sum_k data[i, k] * weight[j, k]``."""
+    batch, in_dim = data.shape_values()
+    out_dim, w_in = weight.shape_values()
+    if w_in != in_dim:
+        raise ValueError("dense dimension mismatch")
+    k = te.reduce_axis((0, in_dim), name="k")
+    out = te.compute((batch, out_dim),
+                     lambda i, j: te.sum(data[i, k] * weight[j, k], axis=k),
+                     name=name)
+    if bias is not None:
+        out = te.compute((batch, out_dim), lambda i, j: out[i, j] + bias[j],
+                         name=f"{name}_bias")
+    return out
+
+
+def bias_add(data: te.Tensor, bias: te.Tensor, name: str = "bias_add") -> te.Tensor:
+    """Add a per-channel bias to an NCHW tensor."""
+    shape = data.shape_values()
+    return te.compute(shape, lambda n, c, h, w: data[n, c, h, w] + bias[c], name=name)
+
+
+def relu(data: te.Tensor, name: str = "relu") -> te.Tensor:
+    shape = data.shape_values()
+    return te.compute(shape,
+                      lambda *idx: te.expr.Max(data[tuple(idx)], as_expr(0.0)),
+                      name=name)
+
+
+def leaky_relu(data: te.Tensor, alpha: float = 0.2, name: str = "leaky_relu") -> te.Tensor:
+    shape = data.shape_values()
+    return te.compute(
+        shape,
+        lambda *idx: Select(data[tuple(idx)] > 0, data[tuple(idx)],
+                            data[tuple(idx)] * alpha),
+        name=name)
+
+
+def sigmoid(data: te.Tensor, name: str = "sigmoid") -> te.Tensor:
+    shape = data.shape_values()
+    return te.compute(shape,
+                      lambda *idx: te.Call("sigmoid", [data[tuple(idx)]]),
+                      name=name)
+
+
+def tanh(data: te.Tensor, name: str = "tanh") -> te.Tensor:
+    shape = data.shape_values()
+    return te.compute(shape,
+                      lambda *idx: te.Call("tanh", [data[tuple(idx)]]),
+                      name=name)
+
+
+def add(lhs: te.Tensor, rhs: te.Tensor, name: str = "add") -> te.Tensor:
+    shape = lhs.shape_values()
+    return te.compute(shape, lambda *idx: lhs[tuple(idx)] + rhs[tuple(idx)], name=name)
+
+
+def multiply(lhs: te.Tensor, rhs: te.Tensor, name: str = "multiply") -> te.Tensor:
+    shape = lhs.shape_values()
+    return te.compute(shape, lambda *idx: lhs[tuple(idx)] * rhs[tuple(idx)], name=name)
+
+
+def batch_norm_inference(data: te.Tensor, gamma: te.Tensor, beta: te.Tensor,
+                         mean: te.Tensor, variance: te.Tensor,
+                         epsilon: float = 1e-5,
+                         name: str = "batch_norm") -> te.Tensor:
+    """Inference-mode batch normalisation over the channel axis of NCHW data."""
+    shape = data.shape_values()
+    return te.compute(
+        shape,
+        lambda n, c, h, w: (data[n, c, h, w] - mean[c])
+        / te.Call("sqrt", [variance[c] + epsilon]) * gamma[c] + beta[c],
+        name=name)
+
+
+def softmax(data: te.Tensor, name: str = "softmax") -> te.Tensor:
+    """Numerically stable softmax along the last axis of a 2-D tensor."""
+    batch, dim = data.shape_values()
+    k1 = te.reduce_axis((0, dim), name="k1")
+    max_elem = te.compute((batch,), lambda i: te.max(data[i, k1], axis=k1),
+                          name=f"{name}_max")
+    k2 = te.reduce_axis((0, dim), name="k2")
+    expsum = te.compute(
+        (batch,), lambda i: te.sum(te.Call("exp", [data[i, k2] - max_elem[i]]), axis=k2),
+        name=f"{name}_sum")
+    return te.compute(
+        (batch, dim),
+        lambda i, j: te.Call("exp", [data[i, j] - max_elem[i]]) / expsum[i],
+        name=name)
+
+
+def flatten(data: te.Tensor, name: str = "flatten") -> te.Tensor:
+    """Flatten an NCHW tensor to (N, C*H*W)."""
+    shape = data.shape_values()
+    batch = shape[0]
+    inner = 1
+    for dim in shape[1:]:
+        inner *= dim
+    if len(shape) == 2:
+        return te.compute(shape, lambda i, j: data[i, j], name=name)
+    _, channels, height, width = shape
+    return te.compute(
+        (batch, inner),
+        lambda i, j: data[i, j // (height * width), (j // width) % height, j % width],
+        name=name)
+
+
+def max_pool2d(data: te.Tensor, pool_size: IntPair = 2, stride: IntPair = 2,
+               padding: IntPair = 0, name: str = "max_pool2d") -> te.Tensor:
+    k_h, k_w = _pair(pool_size)
+    s_h, s_w = _pair(stride)
+    p_h, p_w = _pair(padding)
+    batch, channel, height, width = data.shape_values()
+    if p_h or p_w:
+        data = pad(data, (0, 0, p_h, p_w), (0, 0, p_h, p_w),
+                   pad_value=-1e30, name=f"{name}_pad")
+        height += 2 * p_h
+        width += 2 * p_w
+    out_h = (height - k_h) // s_h + 1
+    out_w = (width - k_w) // s_w + 1
+    ry = te.reduce_axis((0, k_h), name="ry")
+    rx = te.reduce_axis((0, k_w), name="rx")
+    return te.compute(
+        (batch, channel, out_h, out_w),
+        lambda n, c, y, x: te.max(data[n, c, y * s_h + ry, x * s_w + rx], axis=[ry, rx]),
+        name=name)
+
+
+def avg_pool2d(data: te.Tensor, pool_size: IntPair = 2, stride: IntPair = 2,
+               padding: IntPair = 0, name: str = "avg_pool2d") -> te.Tensor:
+    k_h, k_w = _pair(pool_size)
+    s_h, s_w = _pair(stride)
+    p_h, p_w = _pair(padding)
+    batch, channel, height, width = data.shape_values()
+    if p_h or p_w:
+        data = pad(data, (0, 0, p_h, p_w), (0, 0, p_h, p_w), name=f"{name}_pad")
+        height += 2 * p_h
+        width += 2 * p_w
+    out_h = (height - k_h) // s_h + 1
+    out_w = (width - k_w) // s_w + 1
+    ry = te.reduce_axis((0, k_h), name="ry")
+    rx = te.reduce_axis((0, k_w), name="rx")
+    total = te.compute(
+        (batch, channel, out_h, out_w),
+        lambda n, c, y, x: te.sum(data[n, c, y * s_h + ry, x * s_w + rx], axis=[ry, rx]),
+        name=f"{name}_sum")
+    return te.compute((batch, channel, out_h, out_w),
+                      lambda n, c, y, x: total[n, c, y, x] / float(k_h * k_w),
+                      name=name)
+
+
+def global_avg_pool2d(data: te.Tensor, name: str = "global_avg_pool2d") -> te.Tensor:
+    batch, channel, height, width = data.shape_values()
+    ry = te.reduce_axis((0, height), name="ry")
+    rx = te.reduce_axis((0, width), name="rx")
+    total = te.compute((batch, channel),
+                       lambda n, c: te.sum(data[n, c, ry, rx], axis=[ry, rx]),
+                       name=f"{name}_sum")
+    return te.compute((batch, channel),
+                      lambda n, c: total[n, c] / float(height * width), name=name)

@@ -1,0 +1,316 @@
+"""NumPy reference implementations of every operator.
+
+These are the functional semantics used by the graph runtime (the simulated
+devices only model *time*; the numerical results always come from these
+reference kernels) and by the test-suite to validate lowered loop programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "conv2d_nchw",
+    "depthwise_conv2d_nchw",
+    "conv2d_transpose_nchw",
+    "dense",
+    "matmul",
+    "bias_add",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "add",
+    "multiply",
+    "batch_norm_inference",
+    "softmax",
+    "flatten",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "pad_nchw",
+    "bitserial_conv2d_nchw",
+    "winograd_conv2d_nchw",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def pad_nchw(data: np.ndarray, pad_h: int, pad_w: int, value: float = 0.0) -> np.ndarray:
+    if pad_h == 0 and pad_w == 0:
+        return data
+    return np.pad(data, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+                  mode="constant", constant_values=value)
+
+
+def conv2d_nchw(data: np.ndarray, kernel: np.ndarray, stride: IntPair = 1,
+                padding: IntPair = 0) -> np.ndarray:
+    """Direct 2-D convolution, NCHW/OIHW layouts."""
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    data = pad_nchw(data, pad_h, pad_w)
+    batch, in_c, in_h, in_w = data.shape
+    out_c, _, k_h, k_w = kernel.shape
+    out_h = (in_h - k_h) // stride_h + 1
+    out_w = (in_w - k_w) // stride_w + 1
+    # im2col formulation keeps the reference fast enough for whole networks.
+    cols = np.empty((batch, in_c * k_h * k_w, out_h * out_w), dtype=data.dtype)
+    idx = 0
+    for c in range(in_c):
+        for dy in range(k_h):
+            for dx in range(k_w):
+                patch = data[:, c, dy:dy + stride_h * out_h:stride_h,
+                             dx:dx + stride_w * out_w:stride_w]
+                cols[:, idx, :] = patch.reshape(batch, -1)
+                idx += 1
+    weight = kernel.reshape(out_c, -1)
+    out = np.einsum("ok,bkp->bop", weight, cols, optimize=True)
+    return out.reshape(batch, out_c, out_h, out_w).astype(data.dtype)
+
+
+def depthwise_conv2d_nchw(data: np.ndarray, kernel: np.ndarray, stride: IntPair = 1,
+                          padding: IntPair = 0) -> np.ndarray:
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    data = pad_nchw(data, pad_h, pad_w)
+    batch, channels, in_h, in_w = data.shape
+    _, _, k_h, k_w = kernel.shape
+    out_h = (in_h - k_h) // stride_h + 1
+    out_w = (in_w - k_w) // stride_w + 1
+    out = np.zeros((batch, channels, out_h, out_w), dtype=data.dtype)
+    for dy in range(k_h):
+        for dx in range(k_w):
+            patch = data[:, :, dy:dy + stride_h * out_h:stride_h,
+                         dx:dx + stride_w * out_w:stride_w]
+            out += patch * kernel[np.newaxis, :, 0, dy, dx][..., np.newaxis, np.newaxis]
+    return out
+
+
+def conv2d_transpose_nchw(data: np.ndarray, kernel: np.ndarray, stride: IntPair = 1,
+                          padding: IntPair = 0) -> np.ndarray:
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    batch, in_c, in_h, in_w = data.shape
+    _, out_c, k_h, k_w = kernel.shape
+    dil_h = in_h + (in_h - 1) * (stride_h - 1)
+    dil_w = in_w + (in_w - 1) * (stride_w - 1)
+    dilated = np.zeros((batch, in_c, dil_h, dil_w), dtype=data.dtype)
+    dilated[:, :, ::stride_h, ::stride_w] = data
+    flipped = kernel[:, :, ::-1, ::-1]           # (in_c, out_c, kh, kw)
+    weight = flipped.transpose(1, 0, 2, 3)       # (out_c, in_c, kh, kw)
+    return conv2d_nchw(dilated, weight, stride=1, padding=(k_h - 1 - pad_h,
+                                                            k_w - 1 - pad_w))
+
+
+def matmul(a: np.ndarray, b: np.ndarray, trans_a: bool = False,
+           trans_b: bool = False) -> np.ndarray:
+    lhs = a.T if trans_a else a
+    rhs = b.T if trans_b else b
+    return lhs @ rhs
+
+
+def dense(data: np.ndarray, weight: np.ndarray,
+          bias: Optional[np.ndarray] = None) -> np.ndarray:
+    out = data @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def bias_add(data: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    return data + bias.reshape(1, -1, 1, 1)
+
+
+def relu(data: np.ndarray) -> np.ndarray:
+    return np.maximum(data, 0)
+
+
+def leaky_relu(data: np.ndarray, alpha: float = 0.2) -> np.ndarray:
+    return np.where(data > 0, data, data * alpha)
+
+
+def sigmoid(data: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-data))
+
+
+def tanh(data: np.ndarray) -> np.ndarray:
+    return np.tanh(data)
+
+
+def add(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return lhs + rhs
+
+
+def multiply(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return lhs * rhs
+
+
+def batch_norm_inference(data: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                         mean: np.ndarray, variance: np.ndarray,
+                         epsilon: float = 1e-5) -> np.ndarray:
+    shape = (1, -1) + (1,) * (data.ndim - 2)
+    scale = gamma.reshape(shape) / np.sqrt(variance.reshape(shape) + epsilon)
+    shift = beta.reshape(shape) - mean.reshape(shape) * scale
+    return data * scale + shift
+
+
+def softmax(data: np.ndarray) -> np.ndarray:
+    shifted = data - data.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def flatten(data: np.ndarray) -> np.ndarray:
+    return data.reshape(data.shape[0], -1)
+
+
+def max_pool2d(data: np.ndarray, pool_size: IntPair = 2, stride: IntPair = 2,
+               padding: IntPair = 0) -> np.ndarray:
+    k_h, k_w = _pair(pool_size)
+    s_h, s_w = _pair(stride)
+    p_h, p_w = _pair(padding)
+    data = pad_nchw(data, p_h, p_w, value=-np.inf) if (p_h or p_w) else data
+    batch, channels, height, width = data.shape
+    out_h = (height - k_h) // s_h + 1
+    out_w = (width - k_w) // s_w + 1
+    out = np.full((batch, channels, out_h, out_w), -np.inf, dtype=data.dtype)
+    for dy in range(k_h):
+        for dx in range(k_w):
+            patch = data[:, :, dy:dy + s_h * out_h:s_h, dx:dx + s_w * out_w:s_w]
+            out = np.maximum(out, patch)
+    return out
+
+
+def avg_pool2d(data: np.ndarray, pool_size: IntPair = 2, stride: IntPair = 2,
+               padding: IntPair = 0) -> np.ndarray:
+    k_h, k_w = _pair(pool_size)
+    s_h, s_w = _pair(stride)
+    p_h, p_w = _pair(padding)
+    data = pad_nchw(data, p_h, p_w) if (p_h or p_w) else data
+    batch, channels, height, width = data.shape
+    out_h = (height - k_h) // s_h + 1
+    out_w = (width - k_w) // s_w + 1
+    out = np.zeros((batch, channels, out_h, out_w), dtype=data.dtype)
+    for dy in range(k_h):
+        for dx in range(k_w):
+            out += data[:, :, dy:dy + s_h * out_h:s_h, dx:dx + s_w * out_w:s_w]
+    return out / float(k_h * k_w)
+
+
+def global_avg_pool2d(data: np.ndarray) -> np.ndarray:
+    return data.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Ultra low-precision (bit-serial) convolution, Section 6.2 / Figure 18
+# ---------------------------------------------------------------------------
+
+def _quantize_bits(data: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize non-negative activations / weights to ``bits`` bits."""
+    clipped = np.clip(data, 0.0, 1.0)
+    levels = (1 << bits) - 1
+    return np.round(clipped * levels).astype(np.int64)
+
+
+def bitserial_conv2d_nchw(data: np.ndarray, kernel: np.ndarray,
+                          stride: IntPair = 1, padding: IntPair = 0,
+                          activation_bits: int = 2, weight_bits: int = 1) -> np.ndarray:
+    """Bit-serial low precision convolution.
+
+    Activations are quantized to ``activation_bits`` and weights to
+    ``weight_bits``; the convolution is evaluated one bit-plane pair at a
+    time using AND + popcount semantics, accumulating into a wide integer —
+    exactly the decomposition the paper's micro-kernel implements.
+    """
+    q_data = _quantize_bits(data, activation_bits)
+    q_kernel = _quantize_bits(np.abs(kernel), weight_bits)
+    acc = None
+    for a_bit in range(activation_bits):
+        data_plane = ((q_data >> a_bit) & 1).astype(np.float32)
+        for w_bit in range(weight_bits):
+            kernel_plane = ((q_kernel >> w_bit) & 1).astype(np.float32)
+            partial = conv2d_nchw(data_plane, kernel_plane, stride, padding)
+            scaled = partial * float(1 << (a_bit + w_bit))
+            acc = scaled if acc is None else acc + scaled
+    return acc.astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# Winograd F(2x2, 3x3) convolution with pre-transformed weights (Figure 15)
+# ---------------------------------------------------------------------------
+
+_WINOGRAD_B = np.array([
+    [1, 0, 0, 0],
+    [0, 1, -1, 1],
+    [-1, 1, 1, 0],
+    [0, 0, 0, -1],
+], dtype=np.float64)
+
+_WINOGRAD_G = np.array([
+    [1, 0, 0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0, 0, 1],
+], dtype=np.float64)
+
+_WINOGRAD_A = np.array([
+    [1, 0],
+    [1, 1],
+    [1, -1],
+    [0, -1],
+], dtype=np.float64)
+
+
+def winograd_transform_weights(kernel: np.ndarray) -> np.ndarray:
+    """Pre-transform OIHW 3x3 weights to the 4x4 Winograd domain."""
+    out_c, in_c, k_h, k_w = kernel.shape
+    if (k_h, k_w) != (3, 3):
+        raise ValueError("Winograd F(2x2,3x3) requires 3x3 kernels")
+    transformed = np.einsum("ea,ocab,fb->ocef", _WINOGRAD_G, kernel.astype(np.float64),
+                            _WINOGRAD_G)
+    return transformed
+
+
+def winograd_conv2d_nchw(data: np.ndarray, kernel: np.ndarray,
+                         padding: IntPair = 1,
+                         pre_transformed: Optional[np.ndarray] = None) -> np.ndarray:
+    """Winograd F(2x2,3x3) convolution, unit stride."""
+    pad_h, pad_w = _pair(padding)
+    padded = pad_nchw(data.astype(np.float64), pad_h, pad_w)
+    batch, in_c, in_h, in_w = padded.shape
+    out_c = kernel.shape[0]
+    out_h, out_w = in_h - 2, in_w - 2
+    tiles_h = (out_h + 1) // 2
+    tiles_w = (out_w + 1) // 2
+    pad_out_h, pad_out_w = tiles_h * 2, tiles_w * 2
+    if pad_out_h + 2 > in_h or pad_out_w + 2 > in_w:
+        padded = np.pad(padded, ((0, 0), (0, 0),
+                                 (0, pad_out_h + 2 - in_h),
+                                 (0, pad_out_w + 2 - in_w)))
+    weights = (pre_transformed if pre_transformed is not None
+               else winograd_transform_weights(kernel))
+
+    # Gather 4x4 input tiles with stride 2.
+    tiles = np.empty((batch, in_c, tiles_h, tiles_w, 4, 4), dtype=np.float64)
+    for ty in range(tiles_h):
+        for tx in range(tiles_w):
+            tiles[:, :, ty, tx] = padded[:, :, ty * 2:ty * 2 + 4, tx * 2:tx * 2 + 4]
+    # V = B^T d B, M = U * V (elementwise over the 4x4 domain, contracted over
+    # input channels), Y = A^T M A.  Batch index is written ``n`` to avoid
+    # clashing with the transform indices.
+    v = np.einsum("ae,ncyxab,bf->ncyxef", _WINOGRAD_B, tiles, _WINOGRAD_B)
+    m = np.einsum("ocef,ncyxef->noyxef", weights, v)
+    y = np.einsum("ei,noyxef,fj->noyxij", _WINOGRAD_A, m, _WINOGRAD_A)
+    out = np.zeros((batch, out_c, pad_out_h, pad_out_w), dtype=np.float64)
+    for ty in range(tiles_h):
+        for tx in range(tiles_w):
+            out[:, :, ty * 2:ty * 2 + 2, tx * 2:tx * 2 + 2] = y[:, :, ty, tx]
+    return out[:, :, :out_h, :out_w].astype(data.dtype)

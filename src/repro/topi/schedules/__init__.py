@@ -1,0 +1,5 @@
+"""Per-backend schedule templates for the operator library."""
+
+from . import cpu, gpu, vdla
+
+__all__ = ["cpu", "gpu", "vdla"]

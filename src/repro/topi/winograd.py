@@ -1,0 +1,74 @@
+"""Winograd F(2x2, 3x3) convolution with pre-transformed weights.
+
+This is the "TVM PT" series in Figure 15: 3x3 unit-stride convolutions whose
+weights are pre-transformed offline, so inference only performs the input
+transform, a batched element-wise GEMM over the 4x4 Winograd domain, and the
+output transform.  The declaration below expresses all three stages in the
+tensor expression language so the lowered program carries the correct
+(reduced) multiplication count and memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .. import te
+from .nn import pad
+
+__all__ = ["winograd_conv2d_pretransformed"]
+
+
+def winograd_conv2d_pretransformed(batch: int, in_channels: int, height: int,
+                                   width: int, out_channels: int,
+                                   padding: int = 1,
+                                   name: str = "winograd_conv2d"
+                                   ) -> Tuple[te.Tensor, ...]:
+    """Declare Winograd F(2x2,3x3) convolution with pre-transformed weights.
+
+    Returns ``(data, transformed_weight, B, A, output)`` placeholders/tensors.
+    ``B`` (4x4) and ``A`` (4x2) are the constant Winograd transform matrices,
+    passed in as inputs so the transforms stay inside the affine expression
+    language.
+    """
+    out_h = height + 2 * padding - 2
+    out_w = width + 2 * padding - 2
+    tiles_h = (out_h + 1) // 2
+    tiles_w = (out_w + 1) // 2
+
+    data = te.placeholder((batch, in_channels, height, width), name=f"{name}_data")
+    weight_t = te.placeholder((out_channels, in_channels, 4, 4),
+                              name=f"{name}_weight_t")
+    b_mat = te.placeholder((4, 4), name=f"{name}_B")
+    a_mat = te.placeholder((4, 2), name=f"{name}_A")
+
+    padded = pad(data, (0, 0, padding, padding), (0, 0, padding, padding),
+                 name=f"{name}_pad")
+
+    # Input transform: V = B^T d B per 4x4 tile.
+    ra = te.reduce_axis((0, 4), name="ra")
+    rb = te.reduce_axis((0, 4), name="rb")
+    v = te.compute(
+        (batch, in_channels, tiles_h, tiles_w, 4, 4),
+        lambda n, c, ty, tx, e, f: te.sum(
+            b_mat[ra, e] * padded[n, c, ty * 2 + ra, tx * 2 + rb] * b_mat[rb, f],
+            axis=[ra, rb]),
+        name=f"{name}_input_transform")
+
+    # Batched GEMM over the Winograd domain (the dominant cost).
+    rc = te.reduce_axis((0, in_channels), name="rc")
+    m = te.compute(
+        (batch, out_channels, tiles_h, tiles_w, 4, 4),
+        lambda n, k, ty, tx, e, f: te.sum(
+            weight_t[k, rc, e, f] * v[n, rc, ty, tx, e, f], axis=rc),
+        name=f"{name}_batched_gemm")
+
+    # Output transform: Y = A^T M A, scattered back to the output layout.
+    re = te.reduce_axis((0, 4), name="re")
+    rf = te.reduce_axis((0, 4), name="rf")
+    out = te.compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, k, y, x: te.sum(
+            a_mat[re, y % 2] * m[n, k, y // 2, x // 2, re, rf] * a_mat[rf, x % 2],
+            axis=[re, rf]),
+        name=name)
+    return data, weight_t, b_mat, a_mat, out

@@ -1,0 +1,101 @@
+"""Single-kernel workloads from Table 2 of the paper.
+
+C1-C12 are all conv2d operators appearing in ResNet-18; D1-D9 are all
+depthwise conv2d operators appearing in MobileNet.  All operators use "SAME"
+padding and depthwise operators have channel multiplier 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Conv2DWorkload", "DepthwiseWorkload", "RESNET_CONV_WORKLOADS",
+           "MOBILENET_DEPTHWISE_WORKLOADS", "all_workloads"]
+
+
+@dataclass(frozen=True)
+class Conv2DWorkload:
+    """One row of Table 2 (conv2d section)."""
+
+    name: str
+    height: int
+    width: int
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+
+    @property
+    def padding(self) -> int:
+        """'SAME' padding for the given kernel size."""
+        return self.kernel // 2
+
+    @property
+    def gflops(self) -> float:
+        out_h = (self.height + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (self.width + 2 * self.padding - self.kernel) // self.stride + 1
+        return (2.0 * out_h * out_w * self.out_channels * self.in_channels
+                * self.kernel * self.kernel) / 1e9
+
+
+@dataclass(frozen=True)
+class DepthwiseWorkload:
+    """One row of Table 2 (depthwise conv2d section)."""
+
+    name: str
+    height: int
+    width: int
+    channels: int
+    kernel: int
+    stride: int
+
+    @property
+    def padding(self) -> int:
+        return self.kernel // 2
+
+    @property
+    def gflops(self) -> float:
+        out_h = (self.height + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (self.width + 2 * self.padding - self.kernel) // self.stride + 1
+        return (2.0 * out_h * out_w * self.channels * self.kernel * self.kernel) / 1e9
+
+
+#: Table 2, upper half: all conv2d operators in ResNet-18.
+RESNET_CONV_WORKLOADS: List[Conv2DWorkload] = [
+    Conv2DWorkload("C1", 224, 224, 3, 64, 7, 2),
+    Conv2DWorkload("C2", 56, 56, 64, 64, 3, 1),
+    Conv2DWorkload("C3", 56, 56, 64, 64, 1, 1),
+    Conv2DWorkload("C4", 56, 56, 64, 128, 3, 2),
+    Conv2DWorkload("C5", 56, 56, 64, 128, 1, 2),
+    Conv2DWorkload("C6", 28, 28, 128, 128, 3, 1),
+    Conv2DWorkload("C7", 28, 28, 128, 256, 3, 2),
+    Conv2DWorkload("C8", 28, 28, 128, 256, 1, 2),
+    Conv2DWorkload("C9", 14, 14, 256, 256, 3, 1),
+    Conv2DWorkload("C10", 14, 14, 256, 512, 3, 2),
+    Conv2DWorkload("C11", 14, 14, 256, 512, 1, 2),
+    Conv2DWorkload("C12", 7, 7, 512, 512, 3, 1),
+]
+
+#: Table 2, lower half: all depthwise conv2d operators in MobileNet.
+MOBILENET_DEPTHWISE_WORKLOADS: List[DepthwiseWorkload] = [
+    DepthwiseWorkload("D1", 112, 112, 32, 3, 1),
+    DepthwiseWorkload("D2", 112, 112, 64, 3, 2),
+    DepthwiseWorkload("D3", 56, 56, 128, 3, 1),
+    DepthwiseWorkload("D4", 56, 56, 128, 3, 2),
+    DepthwiseWorkload("D5", 28, 28, 256, 3, 1),
+    DepthwiseWorkload("D6", 28, 28, 256, 3, 2),
+    DepthwiseWorkload("D7", 14, 14, 512, 3, 1),
+    DepthwiseWorkload("D8", 14, 14, 512, 3, 2),
+    DepthwiseWorkload("D9", 7, 7, 1024, 3, 1),
+]
+
+
+def all_workloads() -> Dict[str, object]:
+    """Name -> workload mapping for every Table 2 entry."""
+    table: Dict[str, object] = {}
+    for workload in RESNET_CONV_WORKLOADS:
+        table[workload.name] = workload
+    for workload in MOBILENET_DEPTHWISE_WORKLOADS:
+        table[workload.name] = workload
+    return table

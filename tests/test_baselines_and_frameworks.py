@@ -1,0 +1,165 @@
+"""Tests for the simulated vendor libraries and framework baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ACL_PROFILE,
+    CAFFE2_ULP_PROFILE,
+    CUDNN_PROFILE,
+    MXNET_KERNEL_PROFILE,
+    TFLITE_PROFILE,
+    VendorLibrary,
+)
+from repro.baselines.frameworks import (
+    ACLSim,
+    MXNetSim,
+    TFLiteSim,
+    TensorFlowSim,
+    TensorFlowXLASim,
+    framework_for,
+)
+from repro.baselines.vendor import conv_class_of
+from repro.frontend import dcgan_generator, mobilenet, resnet18
+from repro.hardware import arm_cpu, cuda, mali
+
+
+class TestConvClassification:
+    def test_1x1_is_its_own_class(self):
+        assert conv_class_of((1, 1), (1, 1)) == "conv2d_1x1"
+        assert conv_class_of((1, 1), (2, 2)) == "conv2d_1x1"
+
+    def test_common_kernels_are_conv2d(self):
+        for k in (3, 5, 7):
+            assert conv_class_of((k, k), (1, 1)) == "conv2d"
+            assert conv_class_of((k, k), (2, 2)) == "conv2d"
+
+    def test_unusual_kernel_detected(self):
+        assert conv_class_of((4, 4), (2, 2)) == "conv2d_unusual"
+        assert conv_class_of((3, 3), (4, 4)) == "conv2d_unusual"
+
+
+class TestVendorLibrary:
+    def test_conv_time_positive_and_finite(self):
+        library = VendorLibrary(CUDNN_PROFILE, cuda())
+        time = library.conv2d_time(1, 64, 56, 56, 64, 3, 1, 1)
+        assert 0 < time < 1.0
+
+    def test_unusual_conv_is_relatively_slower(self):
+        """cuDNN handles the DQN's 4x4-stride-2 conv poorly (Section 6.1)."""
+        library = VendorLibrary(CUDNN_PROFILE, cuda())
+        common = library.conv2d_time(1, 64, 28, 28, 64, 3, 1, 1)
+        unusual = library.conv2d_time(1, 64, 28, 28, 64, 4, 2, 1)
+        common_flops = 28 * 28 * 64 * 64 * 9
+        unusual_flops = 14 * 14 * 64 * 64 * 16
+        assert unusual / unusual_flops > common / common_flops
+
+    def test_depthwise_uses_depthwise_efficiency(self):
+        fast = VendorLibrary(CUDNN_PROFILE, cuda())
+        # Same arithmetic, but depthwise efficiency is far lower than conv2d.
+        dense_time = fast.conv2d_time(1, 32, 28, 28, 32, 3, 1, 1)
+        dw_time = fast.conv2d_time(1, 32, 28, 28, 32, 3, 1, 1, depthwise=True)
+        assert dw_time != dense_time
+
+    def test_single_threaded_library_is_slower(self):
+        multi = VendorLibrary(CAFFE2_ULP_PROFILE, arm_cpu())
+        single = VendorLibrary(CAFFE2_ULP_PROFILE, arm_cpu(), single_threaded=True)
+        assert single.conv2d_time(1, 64, 56, 56, 64, 3, 1, 1) > \
+            multi.conv2d_time(1, 64, 56, 56, 64, 3, 1, 1)
+
+    def test_fp16_is_faster_on_gpu(self):
+        library = VendorLibrary(ACL_PROFILE, mali())
+        fp32 = library.conv2d_time(1, 64, 56, 56, 64, 3, 1, 1, dtype="float32")
+        fp16 = library.conv2d_time(1, 64, 56, 56, 64, 3, 1, 1, dtype="float16")
+        assert fp16 < fp32
+
+    def test_gemm_time_scales_with_size(self):
+        library = VendorLibrary(CUDNN_PROFILE, cuda())
+        assert library.gemm_time(2048, 2048, 2048) > library.gemm_time(512, 512, 512)
+
+    def test_bitserial_baseline_penalises_1x1(self):
+        """Figure 18: the ULP baseline is not optimised for 1x1 stride-2."""
+        library = VendorLibrary(CAFFE2_ULP_PROFILE, arm_cpu(), single_threaded=True)
+        regular = library.bitserial_conv2d_time(1, 64, 56, 56, 128, 3, 1, 1)
+        unusual = library.bitserial_conv2d_time(1, 64, 56, 56, 128, 1, 2, 0)
+        regular_work = 56 * 56 * 128 * 64 * 9
+        unusual_work = 28 * 28 * 128 * 64
+        assert unusual / unusual_work > regular / regular_work
+
+    def test_elementwise_fallback_class(self):
+        from repro.graph.ir import Node
+
+        data = Node("null", "x")
+        data.shape = (1, 64, 28, 28)
+        relu = Node("relu", "r", [data], {})
+        relu.shape = data.shape
+        library = VendorLibrary(CUDNN_PROFILE, cuda())
+        assert library.op_time(relu) > 0
+
+
+class TestFrameworkSims:
+    def _shapes(self, model):
+        graph, _params, shapes = model(batch=1)
+        return graph, shapes
+
+    def test_tensorflow_slower_than_sum_of_kernels(self):
+        graph, shapes = self._shapes(resnet18)
+        result = TensorFlowSim().run_estimate(graph, shapes)
+        assert result.total_time > result.kernel_time
+        assert result.overhead_time > 0
+        assert result.num_kernels == len(graph.op_nodes)
+
+    def test_xla_fuses_and_reduces_kernel_count(self):
+        graph, shapes = self._shapes(resnet18)
+        plain = TensorFlowSim().run_estimate(graph, shapes)
+        graph, shapes = self._shapes(resnet18)
+        xla = TensorFlowXLASim().run_estimate(graph, shapes)
+        assert xla.num_kernels < plain.num_kernels
+
+    def test_mxnet_uses_gpu_target_by_default(self):
+        assert MXNetSim().target.device_type == "gpu"
+
+    def test_tflite_rejects_dcgan(self):
+        """The paper's footnote: TFLite cannot run DCGAN / LSTM."""
+        graph, _params, shapes = dcgan_generator(batch=1)
+        with pytest.raises(NotImplementedError):
+            TFLiteSim().run_estimate(graph, shapes)
+
+    def test_acl_rejects_dcgan(self):
+        graph, _params, shapes = dcgan_generator(batch=1)
+        with pytest.raises(NotImplementedError):
+            ACLSim().run_estimate(graph, shapes)
+
+    def test_tflite_runs_mobilenet(self):
+        graph, _params, shapes = mobilenet(batch=1)
+        result = TFLiteSim().run_estimate(graph, shapes)
+        assert result.total_time > 0
+
+    def test_factory_lookup(self):
+        assert isinstance(framework_for("tensorflow"), TensorFlowSim)
+        assert isinstance(framework_for("tflite"), TFLiteSim)
+        with pytest.raises(KeyError):
+            framework_for("caffe")
+
+    def test_framework_overheads_ordering(self):
+        """TVM's runtime dispatch is cheaper than the frameworks' (Section 6.1)."""
+        from repro.baselines.profiles import FRAMEWORK_OVERHEADS
+
+        assert FRAMEWORK_OVERHEADS["tvm"] < min(
+            v for k, v in FRAMEWORK_OVERHEADS.items() if k != "tvm")
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", [CUDNN_PROFILE, TFLITE_PROFILE, ACL_PROFILE,
+                                         CAFFE2_ULP_PROFILE, MXNET_KERNEL_PROFILE])
+    def test_efficiencies_are_fractions(self, profile):
+        for field in ("conv2d", "conv2d_1x1", "conv2d_unusual", "depthwise",
+                      "dense", "elementwise"):
+            value = getattr(profile, field)
+            assert 0.0 < value <= 1.0
+
+    def test_cudnn_strongest_on_common_convs(self):
+        """The paper's premise: vendor libraries shine on conventional layers
+        and fall behind on depthwise / unusual operators."""
+        assert CUDNN_PROFILE.conv2d > CUDNN_PROFILE.conv2d_unusual
+        assert CUDNN_PROFILE.conv2d > CUDNN_PROFILE.depthwise

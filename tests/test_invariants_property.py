@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import te, tir
+from repro.autotvm import rank_correlation
+from repro.autotvm.space import ConfigSpace, _factorizations
+from repro.graph.ir import Graph, Node
+from repro.graph.passes import plan_memory
+from repro.topi import nn as topi_nn
+
+
+# ---------------------------------------------------------------------------
+# Configuration space
+# ---------------------------------------------------------------------------
+
+@given(extent=st.integers(min_value=1, max_value=512),
+       parts=st.integers(min_value=2, max_value=4))
+def test_factorizations_multiply_back_to_extent(extent, parts):
+    for sizes in _factorizations(extent, parts):
+        assert len(sizes) == parts
+        product = 1
+        for value in sizes:
+            assert value >= 1
+            product *= value
+        assert product == extent
+
+
+@given(extent_a=st.integers(min_value=2, max_value=64),
+       extent_b=st.integers(min_value=2, max_value=64),
+       index_fraction=st.floats(min_value=0.0, max_value=0.999))
+def test_config_space_index_round_trip(extent_a, extent_b, index_fraction):
+    space = ConfigSpace()
+    space.define_split("tile_a", extent_a, num_outputs=2)
+    space.define_split("tile_b", extent_b, num_outputs=2)
+    space.define_knob("flag", [0, 1])
+    index = int(index_fraction * len(space))
+    knobs = space.knob_indices(index)
+    rebuilt = space.index_of({name: knobs[i]
+                              for i, name in enumerate(space.knob_names)})
+    assert rebuilt == index
+    config = space.get(index)
+    assert config.index == index
+
+
+@given(count=st.integers(min_value=1, max_value=30),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_config_space_sampling_is_unique_and_in_range(count, seed):
+    import random
+
+    space = ConfigSpace()
+    space.define_split("tile", 64, num_outputs=2)
+    space.define_knob("unroll", [0, 1])
+    sample = space.sample(count, rng=random.Random(seed))
+    indices = [c.index for c in sample]
+    assert len(indices) == len(set(indices))
+    assert all(0 <= i < len(space) for i in indices)
+
+
+# ---------------------------------------------------------------------------
+# Rank correlation
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=2, max_size=40))
+def test_rank_correlation_is_bounded(values):
+    noise = np.linspace(0.0, 1.0, len(values))
+    result = rank_correlation(values, list(noise))
+    assert -1.0 - 1e-9 <= result <= 1.0 + 1e-9
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=3, max_size=30, unique=True))
+def test_rank_correlation_of_monotone_transform_is_one(values):
+    transformed = [3.0 * v + 7.0 for v in values]
+    assert rank_correlation([float(v) for v in values],
+                            transformed) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Static memory planning
+# ---------------------------------------------------------------------------
+
+def _chain_graph(sizes):
+    data = Node("null", "data")
+    data.shape = (1, int(sizes[0]))
+    node = data
+    for i, size in enumerate(sizes[1:]):
+        weight = Node("null", f"w{i}")
+        weight.shape = (int(size), int(node.shape[1]))
+        node_new = Node("dense", f"dense{i}", [node, weight], {})
+        node_new.shape = (1, int(size))
+        node = node_new
+    return Graph([node])
+
+
+@given(st.lists(st.integers(min_value=1, max_value=256), min_size=2, max_size=10))
+@settings(max_examples=40)
+def test_memory_plan_never_exceeds_naive(sizes):
+    graph = _chain_graph(sizes)
+    plan = plan_memory(graph)
+    assert plan.planned_bytes <= plan.naive_bytes
+    assert plan.reuse_ratio >= 1.0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=128), min_size=3, max_size=8))
+@settings(max_examples=40)
+def test_memory_plan_tokens_fit_their_tensors(sizes):
+    graph = _chain_graph(sizes)
+    plan = plan_memory(graph)
+    for node in graph.op_nodes:
+        token = plan.storage_of[node.name]
+        needed = int(np.prod(node.shape)) * 4
+        assert plan.token_bytes[token] >= needed
+
+
+def test_memory_plan_respects_liveness():
+    """Two simultaneously-live tensors never share a storage token."""
+    data = Node("null", "data")
+    data.shape = (1, 64)
+    left = Node("relu", "left", [data], {})
+    left.shape = data.shape
+    right = Node("tanh", "right", [data], {})
+    right.shape = data.shape
+    out = Node("add", "out", [left, right], {})
+    out.shape = data.shape
+    plan = plan_memory(Graph([out]))
+    assert plan.storage_of["left"] != plan.storage_of["right"]
+
+
+# ---------------------------------------------------------------------------
+# Feature extraction: register-reuse counting invariant
+# ---------------------------------------------------------------------------
+
+@given(tile_y=st.sampled_from([2, 4, 8]), tile_x=st.sampled_from([2, 4, 8]),
+       unroll=st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_memory_access_counts_never_exceed_trip_counts(tile_y, tile_x, unroll):
+    """Register-reuse-aware load counting can only reduce traffic, and the
+    arithmetic (which really executes once per iteration) stays at the full
+    trip count."""
+    size = 32
+    A = te.placeholder((size, size), name="A")
+    B = te.placeholder((size, size), name="B")
+    C = topi_nn.matmul(A, B)
+    s = te.create_schedule(C.op)
+    y, x = s[C].op.axis
+    k = s[C].op.reduce_axis[0]
+    yo, yi = s[C].split(y, factor=tile_y)
+    xo, xi = s[C].split(x, factor=tile_x)
+    s[C].reorder(yo, xo, k, yi, xi)
+    if unroll:
+        s[C].unroll(yi)
+        s[C].unroll(xi)
+    func = tir.lower(s, [A, B, C], name="mm")
+    features = tir.extract_features(func)
+
+    total_macs = size * size * size
+    assert features.flops == pytest.approx(2 * total_macs)
+    for access in features.buffer_access.values():
+        assert access.load_count <= total_macs + size * size
+        # At most one store per reduction update plus the initialisation pass.
+        assert access.store_count <= total_macs + size * size
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_unrolling_never_increases_counted_traffic(factor):
+    size = 16
+    A = te.placeholder((size, size), name="A")
+    B = te.placeholder((size, size), name="B")
+    C = topi_nn.matmul(A, B)
+
+    def traffic(unrolled):
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        xo, xi = s[C].split(x, factor=min(2 ** factor, size))
+        if unrolled:
+            s[C].unroll(xi)
+        func = tir.lower(s, [A, B, C], name="mm")
+        return sum(a.total_bytes
+                   for a in tir.extract_features(func).buffer_access.values())
+
+    assert traffic(True) <= traffic(False)

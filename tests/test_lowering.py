@@ -1,0 +1,229 @@
+"""Integration tests: lowering schedules to loop programs and executing them.
+
+Every test checks the lowered program's numerical output against NumPy,
+verifying that schedule primitives preserve the program's semantics
+(the paper's core requirement for schedule transformations).
+"""
+
+import numpy as np
+import pytest
+
+from repro import te, tir
+
+
+def _run(schedule, args, *arrays):
+    func = tir.lower(schedule, args)
+    tir.run_lowered(func, *arrays)
+    return func
+
+
+def test_elementwise_lowering():
+    A = te.placeholder((6, 7), name="A")
+    B = te.compute((6, 7), lambda i, j: A[i, j] * 2.0 + 1.0, name="B")
+    s = te.create_schedule(B.op)
+    a = np.random.rand(6, 7).astype("float32")
+    b = np.zeros((6, 7), dtype="float32")
+    _run(s, [A, B], a, b)
+    np.testing.assert_allclose(b, a * 2 + 1, rtol=1e-6)
+
+
+def test_matmul_default_schedule():
+    M, N, K = 9, 5, 7
+    A = te.placeholder((M, K), name="A")
+    B = te.placeholder((K, N), name="B")
+    k = te.reduce_axis((0, K), name="k")
+    C = te.compute((M, N), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="C")
+    s = te.create_schedule(C.op)
+    a = np.random.rand(M, K).astype("float32")
+    b = np.random.rand(K, N).astype("float32")
+    c = np.zeros((M, N), dtype="float32")
+    _run(s, [A, B, C], a, b, c)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+
+def test_matmul_tiled_reordered_unrolled_vectorized():
+    M, N, K = 12, 10, 8
+    A = te.placeholder((M, K), name="A")
+    B = te.placeholder((K, N), name="B")
+    k = te.reduce_axis((0, K), name="k")
+    C = te.compute((M, N), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="C")
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    io, jo, ii, ji = s[C].tile(i, j, 4, 5)
+    ko, ki = s[C].split(k, factor=4)
+    s[C].reorder(io, jo, ko, ii, ji, ki)
+    s[C].unroll(ki)
+    s[C].vectorize(ji)
+    a = np.random.rand(M, K).astype("float32")
+    b = np.random.rand(K, N).astype("float32")
+    c = np.zeros((M, N), dtype="float32")
+    _run(s, [A, B, C], a, b, c)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+
+def test_imperfect_split_guard():
+    """A split that does not divide the extent must still produce correct results."""
+    A = te.placeholder((10,), name="A")
+    B = te.compute((10,), lambda i: A[i] + 1.0, name="B")
+    s = te.create_schedule(B.op)
+    outer, inner = s[B].split(s[B].op.axis[0], factor=4)   # 10 = 3*4 with guard
+    a = np.arange(10, dtype="float32")
+    b = np.zeros(10, dtype="float32")
+    _run(s, [A, B], a, b)
+    np.testing.assert_allclose(b, a + 1)
+
+
+def test_fuse_then_split_lowering():
+    A = te.placeholder((6, 8), name="A")
+    B = te.compute((6, 8), lambda i, j: A[i, j] * 3.0, name="B")
+    s = te.create_schedule(B.op)
+    i, j = s[B].op.axis
+    fused = s[B].fuse(i, j)
+    outer, inner = s[B].split(fused, factor=5)   # imperfect split of fused loop
+    a = np.random.rand(6, 8).astype("float32")
+    b = np.zeros((6, 8), dtype="float32")
+    _run(s, [A, B], a, b)
+    np.testing.assert_allclose(b, a * 3, rtol=1e-6)
+
+
+def test_compute_inline():
+    A = te.placeholder((4, 4), name="A")
+    B = te.compute((4, 4), lambda i, j: A[i, j] + 1.0, name="B")
+    C = te.compute((4, 4), lambda i, j: B[i, j] * 2.0, name="C")
+    s = te.create_schedule(C.op)
+    s[B].compute_inline()
+    func = tir.lower(s, [A, C])
+    # The inlined stage must not allocate an intermediate buffer.
+    assert all("B" != alloc.name for alloc in func.allocations)
+    a = np.random.rand(4, 4).astype("float32")
+    c = np.zeros((4, 4), dtype="float32")
+    tir.run_lowered(func, a, c)
+    np.testing.assert_allclose(c, (a + 1) * 2, rtol=1e-6)
+
+
+def test_cache_write_and_compute_at():
+    A = te.placeholder((8, 16), name="A")
+    B = te.placeholder((8, 12), name="B")
+    k = te.reduce_axis((0, 8), name="k")
+    C = te.compute((16, 12), lambda y, x: te.sum(A[k, y] * B[k, x], axis=k), name="C")
+    s = te.create_schedule(C.op)
+    CL = s.cache_write(C, "local")
+    y, x = s[C].op.axis
+    yo, yi = s[C].split(y, factor=4)
+    xo, xi = s[C].split(x, factor=4)
+    s[C].reorder(yo, xo, yi, xi)
+    s[CL].compute_at(s[C], xo)
+    a = np.random.rand(8, 16).astype("float32")
+    b = np.random.rand(8, 12).astype("float32")
+    c = np.zeros((16, 12), dtype="float32")
+    _run(s, [A, B, C], a, b, c)
+    np.testing.assert_allclose(c, a.T @ b, rtol=1e-5)
+
+
+def test_cache_read_shared_with_barrier():
+    A = te.placeholder((8, 16), name="A")
+    B = te.placeholder((8, 12), name="B")
+    k = te.reduce_axis((0, 8), name="k")
+    C = te.compute((16, 12), lambda y, x: te.sum(A[k, y] * B[k, x], axis=k), name="C")
+    s = te.create_schedule(C.op)
+    CL = s.cache_write(C, "local")
+    y, x = s[C].op.axis
+    yo, yi = s[C].split(y, factor=4)
+    xo, xi = s[C].split(x, factor=4)
+    s[C].reorder(yo, xo, yi, xi)
+    s[CL].compute_at(s[C], xo)
+    AA = s.cache_read(A, "shared", [CL])
+    BB = s.cache_read(B, "shared", [CL])
+    ko, ki = s[CL].split(s[CL].op.reduce_axis[0], factor=4)
+    yl, xl = s[CL].op.axis
+    s[CL].reorder(ko, yl, xl, ki)
+    s[AA].compute_at(s[CL], ko)
+    s[BB].compute_at(s[CL], ko)
+    func = tir.lower(s, [A, B, C])
+    counts = tir.count_statements(func.body)
+    assert counts.get("Barrier", 0) >= 1            # inserted after shared stages
+    a = np.random.rand(8, 16).astype("float32")
+    b = np.random.rand(8, 12).astype("float32")
+    c = np.zeros((16, 12), dtype="float32")
+    tir.run_lowered(func, a, b, c)
+    np.testing.assert_allclose(c, a.T @ b, rtol=1e-5)
+
+
+def test_gpu_cooperative_matmul_schedule_correct():
+    from repro.topi import nn
+    from repro.topi.schedules import gpu as gpu_sched
+
+    A = te.placeholder((32, 32), name="A")
+    B = te.placeholder((32, 32), name="B")
+    C = nn.matmul(A, B)
+    s = gpu_sched.schedule_matmul_gpu(A, B, C, use_shared=True, tile=4, threads=4)
+    func = tir.lower(s, [A, B, C])
+    features = tir.extract_features(func)
+    assert features.num_threads > 1
+    assert features.bytes_in_scope("shared") > 0
+    a = np.random.rand(32, 32).astype("float32")
+    b = np.random.rand(32, 32).astype("float32")
+    c = np.zeros((32, 32), dtype="float32")
+    tir.run_lowered(func, a, b, c)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-4)
+
+
+def test_max_reduction():
+    A = te.placeholder((5, 9), name="A")
+    k = te.reduce_axis((0, 9), name="k")
+    B = te.compute((5,), lambda i: te.max(A[i, k], axis=k), name="B")
+    s = te.create_schedule(B.op)
+    a = np.random.rand(5, 9).astype("float32")
+    b = np.zeros((5,), dtype="float32")
+    _run(s, [A, B], a, b)
+    np.testing.assert_allclose(b, a.max(axis=1), rtol=1e-6)
+
+
+def test_tensorize_gemm_intrinsic():
+    """Tensorized matmul must match the untensorized result (Section 4.3)."""
+    from repro.topi.schedules.vdla import declare_gemm_intrin
+
+    size, tile = 8, 4
+    A = te.placeholder((size, size), name="A")
+    B = te.placeholder((size, size), name="B")
+    k = te.reduce_axis((0, size), name="k")
+    C = te.compute((size, size), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k),
+                   name="C")
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    io, ii = s[C].split(i, factor=tile)
+    jo, ji = s[C].split(j, factor=tile)
+    ko, ki = s[C].split(k, factor=tile)
+    s[C].reorder(io, jo, ko, ii, ji, ki)
+    s[C].tensorize(ii, declare_gemm_intrin(tile))
+    func = tir.lower(s, [A, B, C])
+    assert tir.count_statements(func.body).get("IntrinsicStmt", 0) > 0
+    a = np.random.rand(size, size).astype("float32")
+    b = np.random.rand(size, size).astype("float32")
+    c = np.zeros((size, size), dtype="float32")
+    tir.run_lowered(func, a, b, c)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-4)
+
+
+def test_virtual_thread_lowering_preserves_semantics():
+    A = te.placeholder((8, 8), name="A")
+    B = te.compute((8, 8), lambda i, j: A[i, j] + 5.0, name="B")
+    s = te.create_schedule(B.op)
+    i, j = s[B].op.axis
+    vt, ii = s[B].split(i, nparts=2)
+    s[B].bind(vt, te.thread_axis("vthread"))
+    func = tir.lower(s, [A, B])
+    expanded = tir.inject_virtual_threads(func)
+    a = np.random.rand(8, 8).astype("float32")
+    b = np.zeros((8, 8), dtype="float32")
+    tir.run_lowered(expanded, a, b)
+    np.testing.assert_allclose(b, a + 5, rtol=1e-6)
+
+
+def test_lower_rejects_wrong_argument_count():
+    A = te.placeholder((4,), name="A")
+    B = te.compute((4,), lambda i: A[i] * 2.0, name="B")
+    s = te.create_schedule(B.op)
+    func = tir.lower(s, [A, B])
+    with pytest.raises(ValueError):
+        tir.run_lowered(func, np.zeros(4, dtype="float32"))

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import autotvm, te, tir
+from repro.graph.passes import plan_memory
+from repro.frontend.builder import ModelBuilder
+from repro.te.expr import Var, simplify, substitute
+from repro.tir.interpreter import evaluate_expr
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(-50, 50), b=st.integers(-50, 50), c=st.integers(1, 20))
+def test_simplify_preserves_value(a, b, c):
+    """Simplification never changes the value of an expression."""
+    x = Var("x")
+    expr = (x + a) * b + (x * c - x * c) + (a - a)
+    env = {x: 7}
+    assert evaluate_expr(simplify(expr), env) == evaluate_expr(expr, env)
+
+
+@settings(max_examples=30, deadline=None)
+@given(value=st.integers(0, 100), offset=st.integers(-20, 20))
+def test_substitute_then_evaluate(value, offset):
+    x, y = Var("x"), Var("y")
+    expr = x * 3 + y
+    substituted = substitute(expr, {x: te.const(value)})
+    assert evaluate_expr(substituted, {y: offset}) == value * 3 + offset
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(2, 12), n=st.integers(2, 12), k=st.integers(2, 10),
+       tile_m=st.integers(1, 6), tile_n=st.integers(1, 6))
+def test_split_reorder_preserve_matmul_semantics(m, n, k, tile_m, tile_n):
+    """Any split/reorder combination preserves the program's meaning."""
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    kk = te.reduce_axis((0, k), name="kk")
+    C = te.compute((m, n), lambda i, j: te.sum(A[i, kk] * B[kk, j], axis=kk),
+                   name="C")
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    io, ii = s[C].split(i, factor=min(tile_m, m))
+    jo, ji = s[C].split(j, factor=min(tile_n, n))
+    s[C].reorder(jo, io, ji, ii, s[C].op.reduce_axis[0])
+    func = tir.lower(s, [A, B, C])
+    a = np.random.rand(m, k).astype("float32")
+    b = np.random.rand(k, n).astype("float32")
+    c = np.zeros((m, n), dtype="float32")
+    tir.run_lowered(func, a, b, c)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(extent=st.integers(1, 64), parts=st.integers(2, 3))
+def test_config_space_split_candidates_multiply_to_extent(extent, parts):
+    space = autotvm.ConfigSpace()
+    space.define_split("tile", extent, num_outputs=parts)
+    for candidate in space._candidates["tile"]:
+        product = 1
+        for size in candidate.size:
+            product *= size
+        assert product == extent
+        assert len(candidate.size) == parts
+
+
+@settings(max_examples=20, deadline=None)
+@given(index=st.integers(0, 10_000))
+def test_config_space_index_bijection(index):
+    space = autotvm.ConfigSpace()
+    space.define_split("a", 32, num_outputs=2)
+    space.define_split("b", 24, num_outputs=2)
+    space.define_knob("c", [0, 1, 2])
+    index = index % len(space)
+    cfg = space.get(index)
+    knobs = space.knob_indices(index)
+    assert space.index_of(dict(zip(space.knob_names, knobs))) == index
+    assert cfg.index == index
+
+
+@settings(max_examples=10, deadline=None)
+@given(layers=st.integers(2, 6), channels=st.integers(4, 16), seed=st.integers(0, 100))
+def test_memory_plan_never_overlaps_live_tensors(layers, channels, seed):
+    """The static memory planner must never assign two simultaneously-live
+    tensors to the same storage token."""
+    b = ModelBuilder("prop", seed=seed)
+    data = b.input("data", (1, channels, 8, 8))
+    net = data
+    for i in range(layers):
+        net = b.relu(b.conv2d(net, channels, 3, 1, 1, name=f"conv{i}"))
+    graph, _params = b.finalize(net)
+    graph.infer_shapes({"data": (1, channels, 8, 8)})
+    plan = plan_memory(graph)
+
+    consumers = graph.consumers()
+    order = {id(n): i for i, n in enumerate(graph.nodes)}
+    live_ranges = {}
+    for node in graph.op_nodes:
+        last = max([order[id(u)] for u in consumers[id(node)]],
+                   default=order[id(node)])
+        live_ranges[node.name] = (order[id(node)], last)
+    names = list(live_ranges)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            if plan.storage_of[first] != plan.storage_of[second]:
+                continue
+            s1, e1 = live_ranges[first]
+            s2, e2 = live_ranges[second]
+            assert e1 < s2 or e2 < s1, \
+                f"{first} and {second} overlap but share storage"
+    assert plan.planned_bytes <= plan.naive_bytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.floats(1e-6, 1e3, allow_nan=False), min_size=3, max_size=20))
+def test_rank_correlation_bounds(values):
+    from repro.autotvm.cost_model import rank_correlation
+
+    scores = np.asarray(values)
+    corr = rank_correlation(scores, scores)
+    assert -1.0 <= corr <= 1.0 + 1e-9
+    if len(set(values)) > 1:
+        assert corr > 0.99

@@ -1,0 +1,215 @@
+"""Unit tests for tensors, operations and schedule primitives."""
+
+import pytest
+
+from repro import te
+
+
+def _matmul(m=8, n=6, k=4):
+    A = te.placeholder((m, k), name="A")
+    B = te.placeholder((k, n), name="B")
+    kk = te.reduce_axis((0, k), name="kk")
+    C = te.compute((m, n), lambda i, j: te.sum(A[i, kk] * B[kk, j], axis=kk), name="C")
+    return A, B, C
+
+
+def test_placeholder_shape_and_dtype():
+    A = te.placeholder((4, 5), dtype="float16", name="A")
+    assert A.shape_values() == (4, 5)
+    assert A.dtype == "float16"
+    assert A.ndim == 2
+
+
+def test_tensor_indexing_arity_check():
+    A = te.placeholder((4, 5), name="A")
+    with pytest.raises(ValueError):
+        _ = A[1]
+
+
+def test_compute_creates_axes_matching_shape():
+    C = te.compute((3, 4, 5), lambda i, j, k: i + j + k, name="C")
+    assert len(C.op.axis) == 3
+    assert [iv.extent_value() for iv in C.op.axis] == [3, 4, 5]
+
+
+def test_compute_input_tensors_discovered():
+    A, B, C = _matmul()
+    inputs = C.op.input_tensors()
+    assert A in inputs and B in inputs
+
+
+def test_reduce_axis_domain():
+    k = te.reduce_axis((2, 10), name="k")
+    assert k.extent_value() == 8
+    assert k.iter_type == te.IterVarType.REDUCE
+
+
+def test_thread_axis_requires_tag():
+    with pytest.raises(ValueError):
+        te.thread_axis("")
+    tx = te.thread_axis("threadIdx.x")
+    assert tx.thread_tag == "threadIdx.x"
+    vt = te.thread_axis("vthread")
+    assert vt.iter_type == te.IterVarType.VIRTUAL_THREAD
+
+
+def test_create_schedule_contains_all_stages():
+    A, B, C = _matmul()
+    s = te.create_schedule(C.op)
+    assert s[C].is_output
+    assert len(s.stages) >= 1
+    assert s[C] is s[C.op]
+
+
+def test_split_factor():
+    _, _, C = _matmul(8, 6, 4)
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    outer, inner = s[C].split(i, factor=4)
+    assert outer.extent_value() == 2
+    assert inner.extent_value() == 4
+    assert outer in s[C].leaf_iter_vars and inner in s[C].leaf_iter_vars
+    assert i not in s[C].leaf_iter_vars
+
+
+def test_split_nparts():
+    _, _, C = _matmul(8, 6, 4)
+    s = te.create_schedule(C.op)
+    i, _ = s[C].op.axis
+    outer, inner = s[C].split(i, nparts=2)
+    assert outer.extent_value() == 2
+    assert inner.extent_value() == 4
+
+
+def test_split_invalid_factor():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, _ = s[C].op.axis
+    with pytest.raises(ValueError):
+        s[C].split(i, factor=0)
+
+
+def test_tile_returns_four_loops_in_order():
+    _, _, C = _matmul(8, 8, 4)
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    xo, yo, xi, yi = s[C].tile(i, j, 4, 2)
+    leaves = s[C].leaf_iter_vars
+    assert leaves.index(xo) < leaves.index(yo) < leaves.index(xi) < leaves.index(yi)
+
+
+def test_fuse_requires_adjacent_loops():
+    _, _, C = _matmul(8, 6, 4)
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    fused = s[C].fuse(i, j)
+    assert fused.extent_value() == 48
+    assert fused in s[C].leaf_iter_vars
+
+
+def test_fuse_non_adjacent_raises():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    k = s[C].op.reduce_axis[0]
+    with pytest.raises(ValueError):
+        s[C].fuse(i, k)   # j sits between i and k
+
+
+def test_reorder_changes_leaf_order():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    k = s[C].op.reduce_axis[0]
+    s[C].reorder(k, j, i)
+    leaves = s[C].leaf_iter_vars
+    assert leaves.index(k) < leaves.index(j) < leaves.index(i)
+
+
+def test_annotations_recorded():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, j = s[C].op.axis
+    s[C].vectorize(j)
+    s[C].parallel(i)
+    assert s[C].annotation_of(j) == "vectorize"
+    assert s[C].annotation_of(i) == "parallel"
+
+
+def test_bind_thread_axis():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, _ = s[C].op.axis
+    tx = te.thread_axis("threadIdx.x")
+    s[C].bind(i, tx)
+    assert s[C].bound_thread(i) is tx
+    assert s[C].annotation_of(i) == "thread_binding"
+
+
+def test_annotation_on_non_leaf_raises():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    i, _ = s[C].op.axis
+    outer, inner = s[C].split(i, factor=2)
+    with pytest.raises(ValueError):
+        s[C].vectorize(i)   # i is no longer a leaf
+
+
+def test_set_scope_validation():
+    _, _, C = _matmul()
+    s = te.create_schedule(C.op)
+    with pytest.raises(ValueError):
+        s[C].set_scope("l3_magic")
+    s[C].set_scope("shared")
+    assert s[C].scope == "shared"
+
+
+def test_cache_read_inserts_stage_and_rewrites_reader():
+    A, B, C = _matmul()
+    s = te.create_schedule(C.op)
+    AA = s.cache_read(A, "shared", [C])
+    assert AA.op.name.endswith(".shared")
+    assert s[AA].scope == "shared"
+    # The reader now references the cache tensor rather than A.
+    assert AA in C.op.input_tensors()
+    assert A not in C.op.input_tensors()
+
+
+def test_cache_write_turns_output_into_copy():
+    A, B, C = _matmul()
+    s = te.create_schedule(C.op)
+    CL = s.cache_write(C, "local")
+    assert s[CL].scope == "local"
+    assert CL in C.op.input_tensors()
+    # The original op no longer reduces; the cache stage does.
+    assert not C.op.reduce_axis
+    assert CL.op.reduce_axis
+
+
+def test_compute_at_records_attachment():
+    A, B, C = _matmul()
+    s = te.create_schedule(C.op)
+    AA = s.cache_read(A, "shared", [C])
+    i, _ = s[C].op.axis
+    s[AA].compute_at(s[C], i)
+    assert s[AA].attach_type == "scope"
+    assert s[AA].attach_stage is s[C]
+    assert s[AA].attach_ivar is i
+
+
+def test_compute_inline_and_root():
+    A, B, C = _matmul()
+    s = te.create_schedule(C.op)
+    AA = s.cache_read(A, "shared", [C])
+    s[AA].compute_inline()
+    assert s[AA].attach_type == "inline"
+    s[AA].compute_root()
+    assert s[AA].attach_type == "root"
+
+
+def test_schedule_getitem_unknown_op_raises():
+    _, _, C = _matmul()
+    other = te.compute((2,), lambda i: i * 1.0)
+    s = te.create_schedule(C.op)
+    with pytest.raises(KeyError):
+        _ = s[other]
