@@ -8,21 +8,19 @@ by the layers that stay on the CPU (Amdahl's law).
 
 import pytest
 
+import repro
 from common import build_model, get_target, print_series
-from repro.graph import build
 
 
 def _evaluate():
     # The FPGA platform's host CPU is the PYNQ board's dual-core Cortex A9
     # (Section 6.4), not the Cortex A53 used in the embedded-CPU experiments.
-    graph, params, shapes = build_model("resnet-18")
     cpu_target = get_target("pynq_cpu")
-    _g, cpu_module, _p = build(graph, cpu_target, params, opt_level=2)
+    cpu_module = repro.compile(build_model("resnet-18"), target=cpu_target)
 
-    graph2, params2, _ = build_model("resnet-18")
-    vdla_target = get_target("vdla")
-    _g, het_module, _p = build(graph2, cpu_target, params2, opt_level=2,
-                               heterogeneous_targets={"conv2d": vdla_target})
+    het_module = repro.compile(
+        build_model("resnet-18"), target=cpu_target,
+        heterogeneous_targets={"conv2d": get_target("vdla")})
     return cpu_module, het_module
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+import repro
 from repro.autotvm.database import TuningDatabase
 from repro.frontend import (
     dcgan_generator,
@@ -20,7 +21,7 @@ from repro.frontend import (
     mobilenet,
     resnet18,
 )
-from repro.graph import build, clear_timing_cache, tune_graph
+from repro.graph import clear_timing_cache, tune_graph
 from repro.hardware import Target, arm_cpu, cuda, mali, pynq_cpu, vdla
 
 #: trials per workload used by the benchmark suite (kept modest so the whole
@@ -73,11 +74,10 @@ def compile_model(model: str, target_name: str, opt_level: int = 2,
     """Compile a model end-to-end and return the compiled module."""
     key = (model, target_name, opt_level, dtype)
     if key not in _module_cache:
-        graph, params, shapes = build_model(model, dtype)
         target = get_target(target_name)
         db = tuned_database(model, target_name, dtype) if tuned else None
-        _graph, module, _params = build(graph, target, params,
-                                        opt_level=opt_level, tuning_db=db)
+        module = repro.compile(build_model(model, dtype), target=target,
+                               opt_level=opt_level, tuning_db=db)
         _module_cache[key] = module
     return _module_cache[key]
 

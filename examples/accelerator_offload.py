@@ -9,9 +9,9 @@ convolutions to the accelerator (Figure 21).
 Run:  python examples/accelerator_offload.py
 """
 
+import repro
 from repro import tir
 from repro.frontend import resnet18
-from repro.graph import build
 from repro.hardware import VDLAAccelerator, arm_cpu, pynq_vdla_params, vdla
 from repro.tir.transforms import inject_virtual_threads
 from repro.topi.schedules import vdla as vdla_sched
@@ -38,10 +38,8 @@ def gemm_on_vdla() -> None:
 def resnet_offload() -> None:
     print("\nHeterogeneous ResNet-18: convolutions offloaded to the FPGA")
     cpu_target = arm_cpu()
-    graph, params, _ = resnet18(batch=1)
-    _g, cpu_only, _p = build(graph, cpu_target, params, opt_level=2)
-    graph2, params2, _ = resnet18(batch=1)
-    _g, offloaded, _p = build(graph2, cpu_target, params2, opt_level=2,
+    cpu_only = repro.compile(resnet18(batch=1), target=cpu_target)
+    offloaded = repro.compile(resnet18(batch=1), target=cpu_target,
                               heterogeneous_targets={"conv2d": vdla()})
     for label, module in (("CPU only", cpu_only), ("CPU + VDLA", offloaded)):
         conv = sum(k.time_seconds for k in module.kernels

@@ -10,10 +10,9 @@ Run:  python examples/deploy_multiple_backends.py
 
 import numpy as np
 
-from repro import runtime
+import repro
 from repro.baselines import ACLSim, MXNetSim, TFLiteSim
 from repro.frontend import mobilenet
-from repro.graph import build
 from repro.hardware import arm_cpu, cuda, mali
 
 
@@ -25,12 +24,11 @@ def main() -> None:
     outputs = {}
     print(f"{'target':<10s} {'TVM (ms)':>10s} {'baseline (ms)':>15s} {'speedup':>9s}")
     for name, target in targets.items():
-        graph, params, shapes = mobilenet(batch=1)
-        _g, lib, params = build(graph, target, params, opt_level=2)
-        module = runtime.create(lib)
-        module.set_input(**params)
-        module.run(data=data)
-        outputs[name] = module.get_output(0).asnumpy()
+        lib = repro.compile(mobilenet(batch=1), target=target)
+        executor = lib.executor()
+        executor.set_input(**lib.params)
+        executor.run(data=data)
+        outputs[name] = executor.get_output(0).asnumpy()
 
         graph_b, _params_b, shapes_b = mobilenet(batch=1)
         baseline = baselines[name].run_estimate(graph_b, shapes_b)

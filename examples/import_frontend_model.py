@@ -14,10 +14,9 @@ Run:  python examples/import_frontend_model.py
 
 import numpy as np
 
+import repro
 from repro.frontend import from_keras, from_onnx
-from repro.graph import build
 from repro.hardware import arm_cpu, cuda
-from repro.runtime import graph_executor
 
 
 def keras_style_cnn():
@@ -53,9 +52,10 @@ def onnx_style_mlp():
 
 
 def compile_and_run(graph, params, input_name, input_shape, target) -> None:
-    graph, module, params = build(graph, target, params, opt_level=2)
-    executor = graph_executor.create(module)
-    executor.set_input(**params)
+    module = repro.compile(graph, target=target, params=params,
+                           input_shapes={input_name: input_shape})
+    executor = module.executor()
+    executor.set_input(**module.params)
     executor.set_input(**{input_name: np.random.rand(*input_shape).astype("float32")})
     executor.run()
     output = executor.get_output(0)

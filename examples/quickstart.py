@@ -1,18 +1,17 @@
 """Quickstart: the end-user flow from Section 2 of the paper.
 
-Take a model from the frontend, compile it for a target with
-``compiler.build``, deploy it with the graph runtime, and inspect both the
-numerical output and the simulated latency.
+Take a model from the frontend, compile it with the one-call
+``repro.compile`` pipeline, deploy it with the executor factory, and inspect
+the numerical output, the simulated latency, and the per-pass compilation
+instrumentation.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import runtime
+import repro
 from repro.frontend import resnet18
-from repro.graph import build
-from repro.hardware import cuda
 
 
 def main() -> None:
@@ -22,30 +21,40 @@ def main() -> None:
     print(f"Imported ResNet-18 variant: {len(graph.op_nodes)} operators, "
           f"{len(params)} parameter tensors")
 
-    # 2. Compile for a target.
-    target = cuda()
-    graph, lib, params = build(graph, target, params, opt_level=2)
-    print(f"Compiled module: {len(lib.kernels)} fused kernels, "
-          f"estimated latency {lib.total_time * 1e3:.3f} ms on {target.name}")
-    print(f"Static memory planning reuse: {lib.memory_plan.reuse_ratio:.2f}x "
-          f"({lib.memory_plan.naive_bytes / 1e6:.1f} MB -> "
-          f"{lib.memory_plan.planned_bytes / 1e6:.1f} MB)")
+    # 2. Compile for a target: one call, one resulting module.
+    module = repro.compile((graph, params, input_shapes), target="cuda")
+    print(f"Compiled module: {len(module.kernels)} fused kernels, "
+          f"estimated latency {module.total_time * 1e3:.3f} ms on "
+          f"{module.target.name}")
+    print(f"Static memory planning reuse: {module.memory_plan.reuse_ratio:.2f}x "
+          f"({module.memory_plan.naive_bytes / 1e6:.1f} MB -> "
+          f"{module.memory_plan.planned_bytes / 1e6:.1f} MB)")
+    print("\nCompilation pass instrumentation:")
+    print(module.pass_summary())
 
-    # 3. Deploy with the graph runtime.
-    module = runtime.create(lib, runtime.gpu(0))
-    module.set_input(**params)
+    # 3. Deploy with the executor factory (runtime.create(module) still works).
+    executor = module.executor(repro.runtime.gpu(0))
+    executor.set_input(**module.params)
     data = np.random.rand(*input_shapes["data"]).astype("float32")
-    module.run(data=data)
-    output = runtime.empty((1, 100), ctx=runtime.gpu(0))
-    module.get_output(0, output)
+    executor.run(data=data)
+    output = repro.runtime.empty((1, 100), ctx=repro.runtime.gpu(0))
+    executor.get_output(0, output)
 
     probabilities = output.asnumpy()
-    print(f"Output shape: {probabilities.shape}, "
+    print(f"\nOutput shape: {probabilities.shape}, "
           f"sum of probabilities: {probabilities.sum():.4f}")
     print("Top-5 classes:", np.argsort(probabilities[0])[::-1][:5].tolist())
     print("\nPer-kernel breakdown (top 5 by time):")
-    for name, seconds in sorted(module.profile(), key=lambda kv: -kv[1])[:5]:
+    for name, seconds in sorted(executor.profile(), key=lambda kv: -kv[1])[:5]:
         print(f"  {name:<45s} {seconds * 1e6:9.1f} us")
+
+    # 4. Ablations no longer need magic opt_level integers: disable a pass by
+    #    name to reproduce the paper's "TVM w/o graph opt" rows.
+    with repro.PassContext(disabled_passes=["fuse_ops"]):
+        unfused = repro.compile((graph, params, input_shapes), target="cuda")
+    print(f"\nWithout operator fusion: {len(unfused.kernels)} kernels, "
+          f"{unfused.total_time * 1e3:.3f} ms "
+          f"({unfused.total_time / module.total_time:.2f}x slower)")
 
 
 if __name__ == "__main__":

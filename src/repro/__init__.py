@@ -2,6 +2,8 @@
 
 The package mirrors the paper's architecture (Figure 2):
 
+* :mod:`repro.compiler` — the unified compilation pipeline behind
+  :func:`repro.compile`: pass registry, pass manager and ``PassContext``.
 * :mod:`repro.te` — declarative tensor expressions and schedules.
 * :mod:`repro.tir` — the low-level loop program IR, lowering and transforms.
 * :mod:`repro.topi` — the operator library built on tensor expressions.
@@ -11,10 +13,58 @@ The package mirrors the paper's architecture (Figure 2):
 * :mod:`repro.runtime` — NDArray, deployable modules, graph executor, RPC.
 * :mod:`repro.frontend` — model builder and the model zoo used in evaluation.
 * :mod:`repro.baselines` — simulated vendor libraries and framework baselines.
+
+Everything is exported lazily (PEP 562): ``import repro`` is instant, and
+``repro.compile`` / ``repro.frontend`` / ``repro.hardware`` /... resolve on
+first access.  The canonical one-call flow::
+
+    import repro
+
+    module = repro.compile("resnet-18", target="cuda")
+    executor = module.executor()
 """
 
-from . import te, tir
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["te", "tir", "__version__"]
+#: lazily imported subpackages/submodules
+_SUBMODULES = frozenset({
+    "autotvm", "baselines", "compiler", "frontend", "graph", "hardware",
+    "runtime", "te", "tir", "topi", "workloads",
+})
+
+#: lazily resolved top-level attributes: name -> (module, attribute)
+_LAZY_ATTRS = {
+    "compile": ("repro.compiler", "compile"),
+    "CompiledModule": ("repro.compiler", "CompiledModule"),
+    "PassContext": ("repro.compiler", "PassContext"),
+    "Sequential": ("repro.compiler", "Sequential"),
+    "TimingInstrument": ("repro.compiler", "TimingInstrument"),
+}
+
+__all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
+
+if TYPE_CHECKING:  # static importers see the real modules
+    from . import (autotvm, baselines, compiler, frontend, graph, hardware,
+                   runtime, te, tir, topi, workloads)
+    from .compiler import (CompiledModule, PassContext, Sequential,
+                           TimingInstrument, compile)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        module = import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    if name in _LAZY_ATTRS:
+        module_name, attr = _LAZY_ATTRS[name]
+        value = getattr(import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,56 @@
+"""The unified compilation pipeline (the paper's Figure 2 flow, as an API).
+
+``repro.compile`` is the single front door: graph in, deployable
+:class:`CompiledModule` out.  The pipeline is built from named, opt-level
+gated :class:`Pass` objects run by a :class:`Sequential` pass manager under a
+:class:`PassContext`, so benchmarks ablate passes by name and instruments
+observe every rewrite::
+
+    import repro
+
+    with repro.PassContext(disabled_passes=["fuse_ops"]):
+        unfused = repro.compile("resnet-18", target="cuda")
+
+    module = repro.compile("resnet-18", target="cuda")
+    executor = module.executor()
+"""
+
+from .driver import compile, framework_overhead
+from .instruments import PassInstrument, PassRecord, TimingInstrument
+from .module import CompiledKernel, CompiledModule
+from .pass_context import PassContext
+from .pass_manager import (
+    DEFAULT_PIPELINE,
+    PASS_REGISTRY,
+    CompileState,
+    Pass,
+    PassInfo,
+    Sequential,
+    default_pipeline,
+    get_pass,
+    list_passes,
+    register_pass,
+)
+from . import passes
+
+__all__ = [
+    "CompileState",
+    "CompiledKernel",
+    "CompiledModule",
+    "DEFAULT_PIPELINE",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassContext",
+    "PassInfo",
+    "PassInstrument",
+    "PassRecord",
+    "Sequential",
+    "TimingInstrument",
+    "compile",
+    "default_pipeline",
+    "framework_overhead",
+    "get_pass",
+    "list_passes",
+    "passes",
+    "register_pass",
+]

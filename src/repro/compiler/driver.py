@@ -1,0 +1,190 @@
+"""The single front door of the compiler: :func:`repro.compile`.
+
+Accepts a graph (or a frontend model — a ``(graph, params, input_shapes)``
+tuple from :mod:`repro.frontend.models`, or a model-zoo name), runs the
+registered graph-optimization pipeline under the active
+:class:`~repro.compiler.pass_context.PassContext`, generates one kernel per
+fused group with the operator-level compiler, and returns a single
+:class:`~repro.compiler.module.CompiledModule` carrying everything the
+runtime and the benchmarks need — including the per-pass instrumentation
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..autotvm.database import TuningDatabase
+from ..graph.ir import Graph
+from ..graph.op_timing import estimate_node_time
+from ..graph.passes import MemoryPlan, fuse_ops as _fuse_ops_raw, plan_memory
+from ..hardware.target import Target, create_target
+from . import passes as _standard_passes  # noqa: F401  (registers the passes)
+from .instruments import TimingInstrument
+from .module import CompiledKernel, CompiledModule
+from .pass_context import PassContext
+from .pass_manager import CompileState, Sequential
+
+__all__ = ["compile", "framework_overhead"]
+
+#: model inputs accepted by :func:`compile`
+ModelLike = Union[Graph, str, Tuple, List]
+
+
+def framework_overhead(target: Target) -> float:
+    """Per-kernel dispatch overhead of the runtime on ``target``.
+
+    Dispatching a packed function through the runtime costs roughly half of
+    the device's full kernel-launch overhead, so the value comes from the
+    target's hardware profile rather than a global constant: fast CPUs pay
+    less than a driver round-trip on a mobile GPU or an accelerator.
+    """
+    params = target.model.params
+    return float(getattr(params, "dispatch_overhead",
+                         0.5 * params.launch_overhead))
+
+
+def _resolve_target(target: Union[Target, str, None]) -> Target:
+    if isinstance(target, Target):
+        return target
+    if isinstance(target, str):
+        return create_target(target)
+    raise TypeError(f"target must be a Target or a target name, got {target!r}")
+
+
+def _resolve_model(model: ModelLike,
+                   params: Optional[Dict[str, np.ndarray]],
+                   input_shapes: Optional[Dict[str, Tuple[int, ...]]]
+                   ) -> Tuple[Graph, Dict[str, np.ndarray], Dict[str, Tuple[int, ...]]]:
+    """Normalise the accepted model forms to ``(graph, params, shapes)``."""
+    model_shapes: Dict[str, Tuple[int, ...]] = {}
+    if isinstance(model, str):
+        from ..frontend.models import get_model
+
+        graph, model_params, model_shapes = get_model(model)
+        params = model_params if params is None else params
+    elif isinstance(model, Graph):
+        graph = model
+    elif isinstance(model, (tuple, list)) and len(model) in (2, 3):
+        graph = model[0]
+        if not isinstance(graph, Graph):
+            raise TypeError(f"Expected a Graph first in {type(model).__name__} "
+                            f"model, got {type(graph).__name__}")
+        params = dict(model[1]) if params is None else params
+        if len(model) == 3:
+            model_shapes = dict(model[2])
+    else:
+        raise TypeError(
+            "model must be a Graph, a frontend model tuple "
+            "(graph, params[, input_shapes]) or a model-zoo name; got "
+            f"{type(model).__name__}")
+
+    shapes = dict(model_shapes)
+    for node in graph.input_nodes:
+        if node.shape is not None:
+            shapes.setdefault(node.name, tuple(node.shape))
+    if input_shapes:
+        shapes.update({name: tuple(shape) for name, shape in input_shapes.items()})
+    return graph, dict(params or {}), shapes
+
+
+def _generate_kernels(state: CompileState,
+                      tuning_db: Optional[TuningDatabase],
+                      heterogeneous_targets: Optional[Dict[str, Target]]
+                      ) -> List[CompiledKernel]:
+    """Operator-level compilation: one kernel per fused group."""
+    groups = state.groups
+    if groups is None:  # fusion disabled: one kernel per operator
+        groups = _fuse_ops_raw(state.graph, enabled=False)
+    kernels: List[CompiledKernel] = []
+    for group in groups:
+        node_target = state.target
+        if heterogeneous_targets and group.master.op in heterogeneous_targets:
+            node_target = heterogeneous_targets[group.master.op]
+        master_time = estimate_node_time(group.master, node_target,
+                                         tuning_db=tuning_db, fused=False)
+        fused_time = sum(
+            estimate_node_time(node, node_target, tuning_db=tuning_db, fused=True)
+            for node in group.nodes if node is not group.master)
+        total = master_time + fused_time + framework_overhead(node_target)
+        kernels.append(CompiledKernel(group, total, node_target.name))
+    return kernels
+
+
+def _unplanned_memory(graph: Graph, dtype_bytes: int = 4) -> MemoryPlan:
+    """Fallback plan when ``plan_memory`` is disabled: no storage reuse."""
+    storage_of: Dict[str, int] = {}
+    token_bytes: Dict[int, int] = {}
+    for token, node in enumerate(graph.op_nodes):
+        size = int(np.prod(node.shape)) * dtype_bytes
+        storage_of[node.name] = token
+        token_bytes[token] = size
+    return MemoryPlan(storage_of, token_bytes, sum(token_bytes.values()))
+
+
+def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
+            params: Optional[Dict[str, np.ndarray]] = None,
+            input_shapes: Optional[Dict[str, Tuple[int, ...]]] = None,
+            opt_level: Optional[int] = None,
+            tuning_db: Optional[TuningDatabase] = None,
+            heterogeneous_targets: Optional[Dict[str, Union[Target, str]]] = None,
+            pipeline: Optional[Union[Sequential, Sequence]] = None
+            ) -> CompiledModule:
+    """Compile a model for a target and return a :class:`CompiledModule`.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.graph.ir.Graph`, a frontend model tuple
+        ``(graph, params[, input_shapes])`` as returned by the model zoo, or
+        a model-zoo name such as ``"resnet-18"``.
+    target:
+        A :class:`~repro.hardware.target.Target` or a short name
+        (``"cuda"``, ``"arm_cpu"``, ``"mali"``, ``"vdla"``).
+    params / input_shapes:
+        Override or supplement whatever the model form provided.
+    opt_level:
+        Shortcut overriding the active :class:`PassContext`'s level; prefer
+        configuring a ``PassContext`` for anything beyond that.
+    tuning_db:
+        Autotuning history consulted by the operator-level compiler.
+    heterogeneous_targets:
+        Optional operator-name -> target mapping (the CPU+FPGA offloading
+        experiment of Figure 21).
+    pipeline:
+        Replace the default pass pipeline with a :class:`Sequential` or a
+        list of pass names / :class:`Pass` objects.
+    """
+    graph, params, shapes = _resolve_model(model, params, input_shapes)
+    resolved_target = _resolve_target(target)
+    het_targets = None
+    if heterogeneous_targets:
+        het_targets = {op: _resolve_target(t)
+                       for op, t in heterogeneous_targets.items()}
+
+    ctx = PassContext.current()
+    if opt_level is not None:
+        ctx = ctx.cloned(opt_level=opt_level)
+
+    timing = TimingInstrument()
+    state = CompileState(graph=graph, params=params, target=resolved_target,
+                         input_shapes=shapes)
+    sequential = pipeline if isinstance(pipeline, Sequential) else Sequential(pipeline)
+    state = sequential(state, ctx, instruments=list(ctx.instruments) + [timing])
+
+    if state.memory_plan is None:
+        state.memory_plan = _unplanned_memory(state.graph)
+    kernels = _generate_kernels(state, tuning_db, het_targets)
+
+    return CompiledModule(
+        graph=state.graph,
+        kernels=kernels,
+        params=state.params,
+        target=resolved_target,
+        memory_plan=state.memory_plan,
+        opt_level=ctx.opt_level,
+        layout_transforms=int(state.stats.get("layout_transforms", 0)),
+        pass_records=list(timing.records),
+    )

@@ -1,0 +1,98 @@
+"""Pass instrumentation hooks (mirrors TVM's ``PassInstrument``).
+
+Instruments observe the pass pipeline without changing it: the pass manager
+calls :meth:`PassInstrument.run_before_pass` / ``run_after_pass`` around every
+executed pass, and :class:`~repro.compiler.pass_context.PassContext` calls
+``enter_pass_ctx`` / ``exit_pass_ctx`` when the context is (de)activated.
+
+:class:`TimingInstrument` is the built-in instrument the driver always
+attaches: it records wall time plus node/parameter counts per pass and its
+records end up on :attr:`CompiledModule.pass_records`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:
+    from .pass_manager import CompileState, PassInfo
+
+__all__ = ["PassInstrument", "PassRecord", "TimingInstrument",
+           "aggregate_timings"]
+
+
+def aggregate_timings(records) -> Dict[str, float]:
+    """Fold pass records into total seconds per pass name."""
+    result: Dict[str, float] = {}
+    for record in records:
+        result[record.name] = result.get(record.name, 0.0) + record.seconds
+    return result
+
+
+@dataclass
+class PassRecord:
+    """One executed pass, as observed by :class:`TimingInstrument`."""
+
+    name: str
+    seconds: float
+    nodes_before: int
+    nodes_after: int
+    params_before: int
+    params_after: int
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+class PassInstrument:
+    """Base class for pipeline observers; all hooks default to no-ops."""
+
+    name = "instrument"
+
+    def enter_pass_ctx(self) -> None:
+        """Called when the owning :class:`PassContext` becomes current."""
+
+    def exit_pass_ctx(self) -> None:
+        """Called when the owning :class:`PassContext` is deactivated."""
+
+    def run_before_pass(self, pass_info: "PassInfo", state: "CompileState") -> None:
+        """Called immediately before an enabled pass executes."""
+
+    def run_after_pass(self, pass_info: "PassInfo", state: "CompileState",
+                       seconds: float) -> None:
+        """Called after a pass executed; ``seconds`` is its wall time."""
+
+
+class TimingInstrument(PassInstrument):
+    """Records per-pass wall time and node/param counts."""
+
+    name = "timing"
+
+    def __init__(self) -> None:
+        self.records: List[PassRecord] = []
+        self._nodes_before = 0
+        self._params_before = 0
+
+    def reset(self) -> None:
+        self.records = []
+
+    def run_before_pass(self, pass_info: "PassInfo", state: "CompileState") -> None:
+        self._nodes_before = len(state.graph.nodes)
+        self._params_before = len(state.params)
+
+    def run_after_pass(self, pass_info: "PassInfo", state: "CompileState",
+                       seconds: float) -> None:
+        self.records.append(PassRecord(
+            name=pass_info.name,
+            seconds=seconds,
+            nodes_before=self._nodes_before,
+            nodes_after=len(state.graph.nodes),
+            params_before=self._params_before,
+            params_after=len(state.params),
+        ))
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        return aggregate_timings(self.records)

@@ -1,0 +1,147 @@
+"""The deployable compilation artefact returned by :func:`repro.compile`.
+
+A :class:`CompiledModule` is the *single* object the new compilation pipeline
+hands back: optimized graph, per-group kernels, bound parameters, the static
+memory plan, and the per-pass instrumentation records gathered while the
+module was built.  It also knows how to persist itself (``save``/``load``)
+and how to construct its own executor (``executor``), so callers no longer
+juggle the legacy ``(graph, module, params)`` 3-tuple.
+
+This module deliberately has no eager intra-package imports: it sits below
+both :mod:`repro.graph` and :mod:`repro.runtime` in the import graph, which
+is what lets ``graph.build`` re-export these classes without a cycle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # imports for annotations only — see module docstring
+    from ..graph.ir import Graph
+    from ..graph.passes import FusedGroup, MemoryPlan
+    from ..hardware.target import Target
+    from ..runtime.graph_executor import GraphExecutor
+    from ..runtime.ndarray import Context
+    from .instruments import PassRecord
+
+__all__ = ["CompiledKernel", "CompiledModule"]
+
+#: magic header checked by :meth:`CompiledModule.load`
+_SAVE_FORMAT = "repro-compiled-module"
+_SAVE_VERSION = 1
+
+
+@dataclass
+class CompiledKernel:
+    """One fused group compiled for the target."""
+
+    group: "FusedGroup"
+    time_seconds: float
+    device: str
+
+    @property
+    def name(self) -> str:
+        return self.group.name
+
+    def run(self, tensors: Dict[str, np.ndarray]) -> None:
+        """Execute the group's operators with NumPy semantics.
+
+        ``tensors`` maps node names to arrays; results are stored back by
+        node name.
+        """
+        from ..graph.ops import OP_REGISTRY
+
+        for node in self.group.nodes:
+            inputs = [tensors[p.name] for p in node.inputs]
+            spec = OP_REGISTRY[node.op]
+            tensors[node.name] = spec.compute(*inputs, node.attrs)
+
+
+@dataclass
+class CompiledModule:
+    """A deployable module: optimized graph + kernels + parameters."""
+
+    graph: "Graph"
+    kernels: List[CompiledKernel]
+    params: Dict[str, np.ndarray]
+    target: "Target"
+    memory_plan: "MemoryPlan"
+    opt_level: int
+    layout_transforms: int = 0
+    pass_records: List["PassRecord"] = field(default_factory=list)
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def total_time(self) -> float:
+        return sum(k.time_seconds for k in self.kernels)
+
+    def time_by_operator(self) -> Dict[str, float]:
+        """Aggregate estimated time per operator type (for breakdowns)."""
+        breakdown: Dict[str, float] = {}
+        for kernel in self.kernels:
+            op = kernel.group.master.op
+            breakdown[op] = breakdown.get(op, 0.0) + kernel.time_seconds
+        return breakdown
+
+    def pass_timings(self) -> Dict[str, float]:
+        """Wall-clock seconds spent in each executed compilation pass."""
+        from .instruments import aggregate_timings
+
+        return aggregate_timings(self.pass_records)
+
+    def pass_summary(self) -> str:
+        """Human-readable table of the per-pass instrumentation records."""
+        if not self.pass_records:
+            return "(no pass records)"
+        lines = [f"{'pass':<26} {'wall (us)':>10} {'nodes':>12} {'params':>12}"]
+        for r in self.pass_records:
+            lines.append(f"{r.name:<26} {r.seconds * 1e6:10.1f} "
+                         f"{r.nodes_before:>5} ->{r.nodes_after:>4} "
+                         f"{r.params_before:>5} ->{r.params_after:>4}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- deployment
+    def executor(self, ctx: Optional["Context"] = None) -> "GraphExecutor":
+        """Create a graph executor bound to this module in one step.
+
+        Replaces the two-step ``runtime.create(module, ctx)`` dance (which
+        still works) for the common deploy path.
+        """
+        from ..runtime.graph_executor import create
+
+        return create(self, ctx)
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> str:
+        """Serialise the module (graph, kernels, params, plan) to ``path``.
+
+        The artefact round-trips through :meth:`load`; simulated hardware
+        models are plain parameter objects so the full target travels with
+        the module.
+        """
+        payload = {"format": _SAVE_FORMAT, "version": _SAVE_VERSION,
+                   "module": self}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        return str(path)
+
+    @classmethod
+    def load(cls, path) -> "CompiledModule":
+        """Load a module previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != _SAVE_FORMAT:
+            raise ValueError(f"{path!r} is not a saved CompiledModule")
+        module = payload["module"]
+        if not isinstance(module, cls):
+            raise ValueError(f"{path!r} does not contain a CompiledModule "
+                             f"(got {type(module).__name__})")
+        return module
+
+    def __repr__(self) -> str:
+        return (f"CompiledModule(target={self.target.name}, kernels={len(self.kernels)}, "
+                f"est_time={self.total_time * 1e3:.3f} ms)")

@@ -1,0 +1,101 @@
+"""Compilation configuration carried through the pass pipeline.
+
+A :class:`PassContext` replaces the old ``opt_level`` integer knob on
+``graph.build``: it is a context manager holding the optimization level, a
+free-form config dict consulted by individual passes, the set of passes to
+disable (ablations: ``PassContext(disabled_passes=["fuse_ops"])`` is the
+paper's "TVM w/o graph opt" row), extra passes to append to the default
+pipeline, and the instruments observing the run::
+
+    with repro.PassContext(opt_level=2, disabled_passes=["alter_layout"]):
+        module = repro.compile(model, target="cuda")
+
+Contexts nest; :meth:`PassContext.current` returns the innermost active one
+(or a default ``opt_level=2`` context when none is active).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from .instruments import PassInstrument
+    from .pass_manager import Pass
+
+__all__ = ["PassContext"]
+
+
+class PassContext:
+    """Configuration scope for :func:`repro.compile` and :class:`Sequential`."""
+
+    # Per-thread stack: concurrent compilations (e.g. a parallel benchmark
+    # sweep) must not observe each other's contexts.
+    _tls = threading.local()
+
+    @classmethod
+    def _stack(cls) -> List["PassContext"]:
+        stack = getattr(cls._tls, "stack", None)
+        if stack is None:
+            stack = cls._tls.stack = []
+        return stack
+
+    def __init__(self, opt_level: int = 2,
+                 config: Optional[Dict[str, object]] = None,
+                 disabled_passes: Iterable[str] = (),
+                 extra_passes: Sequence = (),
+                 instruments: Sequence["PassInstrument"] = ()):
+        if opt_level < 0:
+            raise ValueError(f"opt_level must be >= 0, got {opt_level}")
+        self.opt_level = int(opt_level)
+        self.config: Dict[str, object] = dict(config or {})
+        self.disabled_passes = frozenset(disabled_passes)
+        self.extra_passes: List = list(extra_passes)
+        self.instruments: List["PassInstrument"] = list(instruments)
+
+    # ------------------------------------------------------------- scoping
+    @classmethod
+    def current(cls) -> "PassContext":
+        """The innermost active context on this thread, or a fresh default."""
+        stack = cls._stack()
+        if stack:
+            return stack[-1]
+        return cls()
+
+    def __enter__(self) -> "PassContext":
+        self._stack().append(self)
+        for instrument in self.instruments:
+            instrument.enter_pass_ctx()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        for instrument in self.instruments:
+            instrument.exit_pass_ctx()
+        stack = self._stack()
+        if not stack or stack[-1] is not self:
+            raise RuntimeError("PassContext stack corrupted: __exit__ out of order")
+        stack.pop()
+
+    # ------------------------------------------------------------- helpers
+    def cloned(self, opt_level: Optional[int] = None) -> "PassContext":
+        """A copy of this context, optionally overriding ``opt_level``."""
+        return PassContext(
+            opt_level=self.opt_level if opt_level is None else opt_level,
+            config=self.config,
+            disabled_passes=self.disabled_passes,
+            extra_passes=self.extra_passes,
+            instruments=self.instruments,
+        )
+
+    def pass_enabled(self, pass_: "Pass") -> bool:
+        """Whether ``pass_`` runs under this context (gate + disable list)."""
+        if pass_.info.name in self.disabled_passes:
+            return False
+        return self.opt_level >= pass_.info.opt_level
+
+    def __repr__(self) -> str:
+        disabled = sorted(self.disabled_passes)
+        return (f"PassContext(opt_level={self.opt_level}, "
+                f"disabled_passes={disabled}, "
+                f"extra_passes={len(self.extra_passes)}, "
+                f"instruments={len(self.instruments)})")

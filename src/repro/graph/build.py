@@ -1,133 +1,56 @@
-"""End-to-end graph compilation (the ``t.compiler.build`` call in Section 2).
+"""Legacy end-to-end graph compilation entry point (deprecated shim).
 
-``build`` applies the high-level graph optimizations (constant folding,
-operator fusion, data layout selection, static memory planning), then
-generates one compiled kernel per fused group: a NumPy executor closure for
-the functional semantics plus an estimated latency on the chosen target from
-the operator-level compiler.  The result is a deployable module executed by
-:class:`repro.runtime.graph_executor.GraphExecutor`.
+The monolithic ``build`` of early revisions has been replaced by the
+composable pipeline in :mod:`repro.compiler`: :func:`repro.compile` runs the
+registered graph passes under a :class:`~repro.compiler.PassContext` and
+returns a single :class:`~repro.compiler.module.CompiledModule`.
+
+``build`` remains for backward compatibility: it delegates to the new
+pipeline and returns the legacy ``(graph, module, params)`` 3-tuple, emitting
+a :class:`DeprecationWarning`.  ``CompiledKernel`` / ``CompiledModule`` are
+re-exported from their new home in :mod:`repro.compiler.module`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..autotvm.database import TuningDatabase
+from ..compiler.module import CompiledKernel, CompiledModule
 from ..hardware.target import Target
-from .ir import Graph, Node
-from .op_timing import estimate_node_time
-from .ops import OP_REGISTRY
-from .passes import FusedGroup, MemoryPlan, alter_layout, fold_constants, fuse_ops, plan_memory
-from .simplify import simplify_inference
+from .ir import Graph
 
 __all__ = ["CompiledKernel", "CompiledModule", "build"]
 
 
-@dataclass
-class CompiledKernel:
-    """One fused group compiled for the target."""
-
-    group: FusedGroup
-    time_seconds: float
-    device: str
-
-    @property
-    def name(self) -> str:
-        return self.group.name
-
-    def run(self, tensors: Dict[str, np.ndarray]) -> None:
-        """Execute the group's operators with NumPy semantics.
-
-        ``tensors`` maps node names to arrays; results are stored back by
-        node name.
-        """
-        for node in self.group.nodes:
-            inputs = [tensors[p.name] for p in node.inputs]
-            spec = OP_REGISTRY[node.op]
-            tensors[node.name] = spec.compute(*inputs, node.attrs)
-
-
-@dataclass
-class CompiledModule:
-    """A deployable module: optimized graph + kernels + parameters."""
-
-    graph: Graph
-    kernels: List[CompiledKernel]
-    params: Dict[str, np.ndarray]
-    target: Target
-    memory_plan: MemoryPlan
-    opt_level: int
-    layout_transforms: int = 0
-
-    @property
-    def total_time(self) -> float:
-        return sum(k.time_seconds for k in self.kernels)
-
-    def time_by_operator(self) -> Dict[str, float]:
-        """Aggregate estimated time per operator type (for breakdowns)."""
-        breakdown: Dict[str, float] = {}
-        for kernel in self.kernels:
-            op = kernel.group.master.op
-            breakdown[op] = breakdown.get(op, 0.0) + kernel.time_seconds
-        return breakdown
-
-    def __repr__(self) -> str:
-        return (f"CompiledModule(target={self.target.name}, kernels={len(self.kernels)}, "
-                f"est_time={self.total_time * 1e3:.3f} ms)")
-
-
 def _framework_overhead(target: Target) -> float:
-    """Per-kernel dispatch overhead of the TVM runtime (small)."""
-    return 2e-6
+    """Per-kernel dispatch overhead of the runtime (from the target profile)."""
+    from ..compiler.driver import framework_overhead
+
+    return framework_overhead(target)
 
 
 def build(graph: Graph, target: Target, params: Dict[str, np.ndarray],
           opt_level: int = 2, tuning_db: Optional[TuningDatabase] = None,
           heterogeneous_targets: Optional[Dict[str, Target]] = None
           ) -> Tuple[Graph, CompiledModule, Dict[str, np.ndarray]]:
-    """Compile a computational graph for a target.
+    """Deprecated: use :func:`repro.compile` instead.
 
-    Parameters mirror the paper's ``compiler.build(graph, target, params)``.
-
-    ``opt_level`` controls graph rewriting: 0 disables fusion and constant
-    folding ("TVM w/o graph opt" in the evaluation), 1 enables constant
-    folding, 2 additionally enables operator fusion and layout selection.
-
-    ``heterogeneous_targets`` optionally maps operator names to a different
-    target (used for the CPU+FPGA offloading experiment, Figure 21).
+    Compiles ``graph`` through the :mod:`repro.compiler` pipeline with
+    ``PassContext(opt_level=opt_level)`` semantics and returns the legacy
+    ``(graph, module, params)`` tuple, all three of which are reachable from
+    the module alone (``module.graph`` / ``module.params``).
     """
-    input_shapes = {n.name: n.shape for n in graph.input_nodes if n.shape is not None}
-    graph.infer_shapes(input_shapes)
+    warnings.warn(
+        "repro.graph.build() is deprecated; use repro.compile(graph, "
+        "target=..., params=...) which returns a single CompiledModule",
+        DeprecationWarning, stacklevel=2)
+    from ..compiler.driver import compile as _compile
 
-    layout_transforms = 0
-    if opt_level >= 1:
-        graph, params = fold_constants(graph, params)
-        graph.infer_shapes(input_shapes)
-    if opt_level >= 2:
-        graph, params, _folded_bns = simplify_inference(graph, params)
-        graph.infer_shapes(input_shapes)
-        graph, layout_transforms = alter_layout(graph, target.device_type)
-        graph.infer_shapes(input_shapes)
-
-    groups = fuse_ops(graph, enabled=opt_level >= 2)
-    memory_plan = plan_memory(graph)
-
-    kernels: List[CompiledKernel] = []
-    for group in groups:
-        node_target = target
-        if heterogeneous_targets and group.master.op in heterogeneous_targets:
-            node_target = heterogeneous_targets[group.master.op]
-        master_time = estimate_node_time(group.master, node_target,
-                                         tuning_db=tuning_db, fused=False)
-        fused_time = sum(
-            estimate_node_time(node, node_target, tuning_db=tuning_db, fused=True)
-            for node in group.nodes if node is not group.master)
-        total = master_time + fused_time + _framework_overhead(node_target)
-        kernels.append(CompiledKernel(group, total, node_target.name))
-
-    module = CompiledModule(graph, kernels, params, target, memory_plan,
-                            opt_level, layout_transforms)
-    return graph, module, params
+    module = _compile(graph, target=target, params=params, opt_level=opt_level,
+                      tuning_db=tuning_db,
+                      heterogeneous_targets=heterogeneous_targets)
+    return module.graph, module, module.params

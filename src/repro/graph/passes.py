@@ -87,6 +87,15 @@ def fuse_ops(graph: Graph, enabled: bool = True) -> List[FusedGroup]:
             consumer_pattern = OP_REGISTRY[consumer.op].pattern
             if consumer_pattern != OpPattern.INJECTIVE:
                 break
+            # Only absorb the consumer if its other operands are already
+            # available when this kernel runs: graph inputs, members of this
+            # group, or nodes assigned to an earlier kernel.  Without this
+            # check a residual add is pulled into the first branch's kernel
+            # and executes before the second branch has produced its input
+            # (TVM performs the equivalent dominance analysis).
+            if not all(p.is_variable or id(p) in assigned
+                       for p in consumer.inputs):
+                break
             group.nodes.append(consumer)
             assigned[id(consumer)] = group
             current = consumer

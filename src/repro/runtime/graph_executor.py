@@ -11,14 +11,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..graph.build import CompiledModule
+from ..compiler.module import CompiledModule
 from .ndarray import Context, NDArray, cpu
 
 __all__ = ["GraphExecutor", "create"]
 
 
 class GraphExecutor:
-    """Executes a :class:`~repro.graph.build.CompiledModule`."""
+    """Executes a :class:`~repro.compiler.module.CompiledModule`."""
 
     def __init__(self, module: CompiledModule, ctx: Optional[Context] = None):
         self.module = module

@@ -1,0 +1,463 @@
+"""Tests for the unified compilation pipeline (repro.compile + pass infra)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compiler import (
+    DEFAULT_PIPELINE,
+    CompiledModule,
+    Pass,
+    PassContext,
+    PassInfo,
+    PassInstrument,
+    Sequential,
+    TimingInstrument,
+    get_pass,
+    list_passes,
+    register_pass,
+)
+from repro.frontend import MODEL_REGISTRY, ModelBuilder, dqn, get_model
+from repro.graph import build
+from repro.hardware import cuda, vdla
+from repro import runtime
+
+
+def _small_cnn():
+    """conv+bn+relu+pool+dense: exercises folding, fusion and planning."""
+    b = ModelBuilder("pipeline_cnn", seed=0)
+    data = b.input("data", (1, 3, 16, 16))
+    net = b.relu(b.batch_norm(b.conv2d(data, 8, 3, stride=1, padding=1,
+                                       name="conv")))
+    net = b.max_pool2d(net, pool_size=2, stride=2)
+    net = b.softmax(b.dense(b.flatten(net), 10, name="fc"))
+    graph, params = b.finalize(net)
+    return graph, params, {"data": (1, 3, 16, 16)}
+
+
+# ---------------------------------------------------------------------------
+# Registry and pipeline structure
+# ---------------------------------------------------------------------------
+
+class TestPassRegistry:
+    def test_default_pipeline_is_registered_in_order(self):
+        assert DEFAULT_PIPELINE == ("fold_constants", "simplify_inference",
+                                    "alter_layout", "fuse_ops", "plan_memory")
+        for name in DEFAULT_PIPELINE:
+            assert name in list_passes()
+
+    def test_opt_level_gates_match_legacy_build(self):
+        assert get_pass("fold_constants").info.opt_level == 1
+        assert get_pass("simplify_inference").info.opt_level == 2
+        assert get_pass("alter_layout").info.opt_level == 2
+        assert get_pass("fuse_ops").info.opt_level == 2
+        assert get_pass("plan_memory").info.opt_level == 0
+
+    def test_unknown_pass_raises_with_available_names(self):
+        with pytest.raises(KeyError, match="fuse_ops"):
+            get_pass("no_such_pass")
+
+    def test_extra_simplify_passes_registered_but_not_default(self):
+        for name in ("eliminate_common_subexpr", "dead_code_elimination"):
+            assert name in list_passes()
+            assert name not in DEFAULT_PIPELINE
+
+
+# ---------------------------------------------------------------------------
+# PassContext semantics
+# ---------------------------------------------------------------------------
+
+class TestPassContext:
+    def test_nesting_and_current(self):
+        default = PassContext.current()
+        assert default.opt_level == 2
+        with PassContext(opt_level=1) as outer:
+            assert PassContext.current() is outer
+            with PassContext(opt_level=0, disabled_passes=["plan_memory"]) as inner:
+                assert PassContext.current() is inner
+            assert PassContext.current() is outer
+        assert PassContext.current() is not outer
+
+    def test_context_stack_is_thread_local(self):
+        import threading
+
+        levels = {}
+
+        def worker():
+            levels["other_thread"] = PassContext.current().opt_level
+
+        with PassContext(opt_level=0):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            levels["this_thread"] = PassContext.current().opt_level
+        assert levels["this_thread"] == 0
+        assert levels["other_thread"] == 2  # default, not leaked from here
+
+    def test_negative_opt_level_rejected(self):
+        with pytest.raises(ValueError):
+            PassContext(opt_level=-1)
+
+    def test_disabled_passes_match_opt_level_0(self):
+        """Disabling every gated pass by name == legacy opt_level=0."""
+        model = _small_cnn()
+        legacy = repro.compile(model, target=cuda(), opt_level=0)
+        gated = [name for name in DEFAULT_PIPELINE
+                 if get_pass(name).info.opt_level >= 1]
+        with PassContext(opt_level=2, disabled_passes=gated):
+            ablated = repro.compile(model, target=cuda())
+        assert [k.name for k in ablated.kernels] == [k.name for k in legacy.kernels]
+        assert ablated.total_time == pytest.approx(legacy.total_time)
+
+    def test_disabled_passes_match_opt_level_1(self):
+        model = _small_cnn()
+        legacy = repro.compile(model, target=cuda(), opt_level=1)
+        with PassContext(disabled_passes=["simplify_inference", "alter_layout",
+                                          "fuse_ops"]):
+            ablated = repro.compile(model, target=cuda())
+        assert [k.name for k in ablated.kernels] == [k.name for k in legacy.kernels]
+        assert ablated.total_time == pytest.approx(legacy.total_time)
+
+    def test_disable_fusion_yields_one_kernel_per_operator(self):
+        model = _small_cnn()
+        with PassContext(disabled_passes=["fuse_ops"]):
+            module = repro.compile(model, target=cuda())
+        assert len(module.kernels) == len(module.graph.op_nodes)
+        assert all(len(k.group.nodes) == 1 for k in module.kernels)
+        fused = repro.compile(model, target=cuda())
+        assert len(fused.kernels) < len(module.kernels)
+        assert fused.total_time < module.total_time
+
+    def test_disable_memory_planning_drops_storage_reuse(self):
+        model = _small_cnn()
+        planned = repro.compile(model, target=cuda())
+        with PassContext(disabled_passes=["plan_memory"]):
+            unplanned = repro.compile(model, target=cuda())
+        assert planned.memory_plan.reuse_ratio > 1.0
+        assert unplanned.memory_plan.reuse_ratio == pytest.approx(1.0)
+
+    def test_typo_in_disabled_passes_fails_loudly(self):
+        with PassContext(disabled_passes=["fuse_opss"]):
+            with pytest.raises(KeyError, match="fuse_opss"):
+                repro.compile(_small_cnn(), target=cuda())
+
+    def test_extra_passes_run_before_codegen_passes(self):
+        recorded = {}
+
+        def audit(state, ctx):
+            recorded["shapes_valid"] = all(n.shape is not None
+                                           for n in state.graph.nodes)
+
+        audit_pass = Pass(audit, PassInfo(name="audit"))
+        with PassContext(extra_passes=[audit_pass]):
+            module = repro.compile(_small_cnn(), target=cuda())
+        # The extra pass ran instrumented, saw a shape-valid graph, and was
+        # spliced in before fusion/memory planning so rewrites reach codegen.
+        assert recorded["shapes_valid"]
+        executed = [r.name for r in module.pass_records]
+        assert executed.index("audit") < executed.index("fuse_ops")
+        assert executed[-1] == "plan_memory"
+
+    def test_extra_rewrite_pass_affects_generated_kernels(self):
+        """eliminate_common_subexpr via extra_passes must reach codegen."""
+        b = ModelBuilder("cse", seed=0)
+        data = b.input("data", (1, 8))
+        left = b.relu(b.dense(data, 8, name="fc"))
+        right = b.relu(b.dense(data, 8, name="fc2"))
+        # Same weights are not shared, but the two relu consumers of one
+        # dense below ARE a common subexpression.
+        shared = b.dense(data, 8, name="fc3")
+        out = b.add(b.add(b.relu(shared), b.relu(shared)), b.add(left, right))
+        graph, params = b.finalize(out)
+
+        plain = repro.compile((graph, params), target=cuda(),
+                              input_shapes={"data": (1, 8)})
+        with PassContext(extra_passes=["eliminate_common_subexpr"]):
+            deduped = repro.compile((graph, params), target=cuda(),
+                                    input_shapes={"data": (1, 8)})
+        plain_nodes = sum(len(k.group.nodes) for k in plain.kernels)
+        deduped_nodes = sum(len(k.group.nodes) for k in deduped.kernels)
+        assert deduped_nodes < plain_nodes
+        assert len(deduped.graph.op_nodes) == deduped_nodes
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+class TestInstruments:
+    def test_timings_present_for_every_executed_pass(self):
+        module = repro.compile(_small_cnn(), target=cuda())
+        executed = [r.name for r in module.pass_records]
+        assert executed == list(DEFAULT_PIPELINE)
+        assert all(r.seconds >= 0.0 for r in module.pass_records)
+        assert set(module.pass_timings()) == set(DEFAULT_PIPELINE)
+        assert "fold_constants" in module.pass_summary()
+
+    def test_disabled_passes_produce_no_records(self):
+        with PassContext(opt_level=0):
+            module = repro.compile(_small_cnn(), target=cuda())
+        assert [r.name for r in module.pass_records] == ["plan_memory"]
+
+    def test_custom_instrument_receives_callbacks(self):
+        class Recorder(PassInstrument):
+            def __init__(self):
+                self.entered = self.exited = 0
+                self.before = []
+                self.after = []
+
+            def enter_pass_ctx(self):
+                self.entered += 1
+
+            def exit_pass_ctx(self):
+                self.exited += 1
+
+            def run_before_pass(self, info, state):
+                self.before.append(info.name)
+
+            def run_after_pass(self, info, state, seconds):
+                self.after.append((info.name, seconds))
+
+        recorder = Recorder()
+        with PassContext(instruments=[recorder]):
+            repro.compile(_small_cnn(), target=cuda())
+        assert recorder.entered == 1 and recorder.exited == 1
+        assert recorder.before == list(DEFAULT_PIPELINE)
+        assert [name for name, _s in recorder.after] == list(DEFAULT_PIPELINE)
+
+    def test_timing_instrument_records_node_counts(self):
+        timing = TimingInstrument()
+        with PassContext(instruments=[timing]):
+            repro.compile(_small_cnn(), target=cuda())
+        simplify = [r for r in timing.records if r.name == "simplify_inference"]
+        assert simplify and simplify[0].nodes_before > 0
+        # Folding the batch norm removes nodes.
+        assert simplify[0].nodes_after < simplify[0].nodes_before
+
+
+# ---------------------------------------------------------------------------
+# compile() front door
+# ---------------------------------------------------------------------------
+
+class TestCompileFrontDoor:
+    def test_accepts_target_name_and_model_tuple(self):
+        module = repro.compile(_small_cnn(), target="cuda")
+        assert module.target.name == "cuda"
+        assert module.total_time > 0
+
+    def test_accepts_model_zoo_name(self):
+        module = repro.compile("dqn", target="cuda")
+        assert len(module.kernels) > 0
+
+    def test_rejects_bad_model_and_target(self):
+        with pytest.raises(TypeError, match="model"):
+            repro.compile(42, target="cuda")
+        with pytest.raises(TypeError, match="target"):
+            repro.compile(_small_cnn(), target=None)
+
+    def test_compiles_every_zoo_model_in_one_call(self):
+        small_kwargs = {
+            "resnet-18": dict(image_size=32, num_classes=10),
+            "mobilenet": dict(image_size=32, num_classes=10),
+            "lstm-lm": dict(hidden_size=64, seq_len=2),
+            "dqn": {},
+            "dcgan": {},
+        }
+        for name in MODEL_REGISTRY:
+            model = get_model(name, batch=1, **small_kwargs.get(name, {}))
+            module = repro.compile(model, target="cuda")
+            assert module.total_time > 0, name
+            assert module.pass_records, name
+
+    def test_heterogeneous_targets_accept_names(self):
+        graph, params, shapes = get_model("resnet-18", batch=1, image_size=32,
+                                          num_classes=10)
+        module = repro.compile((graph, params, shapes), target="pynq_cpu",
+                               heterogeneous_targets={"conv2d": "vdla"})
+        devices = {k.device for k in module.kernels
+                   if k.group.master.op == "conv2d"}
+        assert devices == {"vdla"}
+
+    def test_residual_model_executes_in_kernel_order(self):
+        """Regression: fusion must not absorb a residual add into the first
+        branch's kernel before the second branch has produced its input."""
+        b = ModelBuilder("residual", seed=0)
+        data = b.input("data", (1, 4, 8, 8))
+        left = b.batch_norm(b.conv2d(data, 4, 3, stride=1, padding=1,
+                                     name="left"))
+        right = b.batch_norm(b.conv2d(data, 4, 1, stride=1, padding=0,
+                                      name="right"))
+        out = b.relu(b.add(left, right))
+        graph, params = b.finalize(out)
+        module = repro.compile(graph, target=cuda(), params=params,
+                               input_shapes={"data": (1, 4, 8, 8)})
+
+        executor = module.executor()
+        executor.set_input(**module.params)
+        executor.run(data=np.random.default_rng(2)
+                     .random((1, 4, 8, 8)).astype("float32"))
+        assert executor.get_output(0).asnumpy().shape == (1, 4, 8, 8)
+        # The add fused somewhere downstream, never ahead of its producers.
+        computed = set(n.name for n in module.graph.input_nodes)
+        for kernel in module.kernels:
+            for node in kernel.group.nodes:
+                for parent in node.inputs:
+                    assert parent.name in computed or parent.name in module.params
+                computed.add(node.name)
+
+    def test_executor_factory_matches_runtime_create(self):
+        graph, params, shapes = _small_cnn()
+        module = repro.compile((graph, params, shapes), target=cuda())
+        data = np.random.default_rng(0).random(shapes["data"]).astype("float32")
+
+        via_factory = module.executor()
+        via_factory.set_input(**module.params)
+        via_factory.run(data=data)
+
+        via_runtime = runtime.create(module)
+        via_runtime.set_input(**module.params)
+        via_runtime.run(data=data)
+
+        np.testing.assert_allclose(via_factory.get_output(0).asnumpy(),
+                                   via_runtime.get_output(0).asnumpy())
+
+
+# ---------------------------------------------------------------------------
+# Save / load round-trip
+# ---------------------------------------------------------------------------
+
+class TestSaveLoad:
+    def test_round_trip_preserves_behaviour(self, tmp_path):
+        graph, params, shapes = _small_cnn()
+        module = repro.compile((graph, params, shapes), target=cuda())
+        path = tmp_path / "module.repro"
+        module.save(path)
+
+        loaded = CompiledModule.load(path)
+        assert loaded.total_time == pytest.approx(module.total_time)
+        assert [k.name for k in loaded.kernels] == [k.name for k in module.kernels]
+        assert [r.name for r in loaded.pass_records] == \
+            [r.name for r in module.pass_records]
+        assert loaded.memory_plan.planned_bytes == module.memory_plan.planned_bytes
+
+        data = np.random.default_rng(1).random(shapes["data"]).astype("float32")
+        np.testing.assert_allclose(_output(module, data), _output(loaded, data))
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a module"}, handle)
+        with pytest.raises(ValueError, match="CompiledModule"):
+            CompiledModule.load(path)
+
+
+def _output(module, data):
+    executor = module.executor()
+    executor.set_input(**module.params)
+    executor.run(data=data)
+    return executor.get_output(0).asnumpy()
+
+
+class TestFrameworkOverhead:
+    def test_dispatch_overhead_comes_from_hardware_profile(self):
+        from repro.compiler import framework_overhead
+        from repro.graph.build import _framework_overhead
+        from repro.hardware import arm_cpu, mali
+
+        for target in (cuda(), arm_cpu(), mali(), vdla()):
+            expected = 0.5 * target.model.params.launch_overhead
+            assert framework_overhead(target) == pytest.approx(expected)
+            # The legacy graph.build helper delegates to the same profile.
+            assert _framework_overhead(target) == framework_overhead(target)
+        # Different back-ends pay different dispatch costs (no more 2e-6).
+        assert framework_overhead(mali()) > framework_overhead(arm_cpu())
+
+
+# ---------------------------------------------------------------------------
+# Legacy graph.build() shim
+# ---------------------------------------------------------------------------
+
+class TestLegacyBuildShim:
+    def test_returns_three_tuple_with_deprecation_warning(self):
+        graph, params, _shapes = _small_cnn()
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            result = build(graph, cuda(), params, opt_level=2)
+        assert isinstance(result, tuple) and len(result) == 3
+        out_graph, module, out_params = result
+        assert isinstance(module, CompiledModule)
+        assert out_graph is module.graph
+        assert out_params is module.params
+
+    def test_shim_matches_new_pipeline(self):
+        for opt_level in (0, 1, 2):
+            graph, params, shapes = _small_cnn()
+            with pytest.warns(DeprecationWarning):
+                _g, legacy, _p = build(graph, cuda(), params, opt_level=opt_level)
+            new = repro.compile(_small_cnn(), target=cuda(), opt_level=opt_level)
+            assert legacy.total_time == pytest.approx(new.total_time)
+            assert len(legacy.kernels) == len(new.kernels)
+            assert legacy.opt_level == new.opt_level == opt_level
+
+
+# ---------------------------------------------------------------------------
+# Lazy top-level package surface
+# ---------------------------------------------------------------------------
+
+class TestTopLevelExports:
+    def test_lazy_submodules_resolve(self):
+        for name in ("graph", "frontend", "hardware", "runtime", "autotvm",
+                     "topi", "te", "tir", "compiler", "baselines"):
+            assert getattr(repro, name).__name__ == f"repro.{name}"
+            assert name in repro.__all__
+
+    def test_compile_and_pass_context_exported(self):
+        from repro.compiler import compile as compiler_compile
+
+        assert repro.compile is compiler_compile
+        assert repro.PassContext is PassContext
+        assert repro.CompiledModule is CompiledModule
+        assert "compile" in repro.__all__
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            repro.no_such_thing
+
+
+# ---------------------------------------------------------------------------
+# Sequential pass manager details
+# ---------------------------------------------------------------------------
+
+class TestSequential:
+    def test_custom_pipeline_by_name(self):
+        module = repro.compile(_small_cnn(), target=cuda(),
+                               pipeline=["fold_constants", "fuse_ops",
+                                         "plan_memory"])
+        assert [r.name for r in module.pass_records] == \
+            ["fold_constants", "fuse_ops", "plan_memory"]
+        # batch_norm survives because simplify_inference did not run.
+        assert any(n.op == "batch_norm" for n in module.graph.op_nodes)
+
+    def test_shapes_reinferred_after_rewrites(self):
+        seen = []
+
+        def check_shapes(state, ctx):
+            seen.append(all(n.shape is not None for n in state.graph.nodes))
+
+        probe = Pass(check_shapes, PassInfo(name="probe"))
+        with PassContext(extra_passes=[probe]):
+            module = repro.compile(_small_cnn(), target=cuda())
+        assert seen == [True]
+        assert all(n.shape is not None for n in module.graph.nodes)
+
+    def test_register_pass_decorator_and_custom_run(self):
+        name = "test_noop_pass_unique"
+        if name not in list_passes():
+            @register_pass(name, opt_level=0)
+            def _noop(state, ctx):
+                state.stats["noop_ran"] = True
+
+        module = repro.compile(_small_cnn(), target=cuda(),
+                               pipeline=list(DEFAULT_PIPELINE) + [name])
+        assert [r.name for r in module.pass_records][-1] == name
