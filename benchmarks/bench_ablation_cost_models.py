@@ -16,16 +16,15 @@ import time
 import numpy as np
 import pytest
 
-from common import get_target
+from common import conv_graph, get_target
 from repro import tir
 from repro.autotvm import (
     GradientBoostedTrees,
     NeuralCostModel,
-    Task,
     TreeRNNCostModel,
+    extract_tasks,
     rank_correlation,
 )
-from repro.graph.op_timing import _conv2d_template
 from repro.workloads import RESNET_CONV_WORKLOADS
 
 N_TRAIN = 48
@@ -35,9 +34,9 @@ N_TEST = 32
 def _collect_samples(target, n_samples, seed=0):
     """Lower a random sample of configurations and 'measure' them."""
     c7 = RESNET_CONV_WORKLOADS[6]
-    args = (1, c7.in_channels, c7.height, c7.width, c7.out_channels,
-            c7.kernel, c7.kernel, c7.stride, c7.padding, "float32")
-    task = Task("ablation_cost_model", _conv2d_template(target), args, target)
+    graph = conv_graph(1, c7.in_channels, c7.height, c7.width, c7.out_channels,
+                       c7.kernel, c7.stride, c7.padding)
+    task, = extract_tasks(graph, target)
     rng = random.Random(seed)
     funcs, features, times = [], [], []
     for config in task.config_space.sample(n_samples, rng=rng):

@@ -4,14 +4,17 @@ Compares the ML-based cost model explorer, a blackbox genetic algorithm and
 random search, all relative to the cuDNN baseline, as a function of the
 number of measurement trials.  The paper shows the ML-based model finding
 better configurations much faster than blackbox methods.
+
+Each method runs through the unified tuning session (``repro.autotune``),
+whose per-task trial curves are exactly the data this figure plots.
 """
 
 import pytest
 
-from common import get_target, print_series
-from repro import autotvm
+from common import conv_graph, get_target, print_series
+import repro
+from repro.autotvm import TuningOptions
 from repro.baselines import CUDNN_PROFILE, VendorLibrary
-from repro.graph.op_timing import _conv2d_template
 from repro.workloads import RESNET_CONV_WORKLOADS
 
 N_TRIALS = 128
@@ -20,22 +23,24 @@ N_TRIALS = 128
 def _evaluate():
     target = get_target("cuda")
     c7 = RESNET_CONV_WORKLOADS[6]
-    args = (1, c7.in_channels, c7.height, c7.width, c7.out_channels,
-            c7.kernel, c7.kernel, c7.stride, c7.padding, "float32")
+    graph = conv_graph(1, c7.in_channels, c7.height, c7.width, c7.out_channels,
+                       c7.kernel, c7.stride, c7.padding)
     cudnn = VendorLibrary(CUDNN_PROFILE, target).conv2d_time(
         1, c7.in_channels, c7.height, c7.width, c7.out_channels,
         c7.kernel, c7.stride, c7.padding)
 
     curves = {}
     best = {}
-    for label, tuner_cls in (("ML-based model", autotvm.ModelBasedTuner),
-                             ("Blackbox genetic", autotvm.GATuner),
-                             ("Random search", autotvm.RandomTuner)):
-        task = autotvm.Task(f"fig12_{label}", _conv2d_template(target), args, target)
-        tuner = tuner_cls(task, seed=42)
-        tuner.tune(n_trial=N_TRIALS, batch_size=8)
-        curves[label] = tuner.best_history()
-        best[label] = tuner.best_time
+    for label, tuner in (("ML-based model", "model"),
+                         ("Blackbox genetic", "ga"),
+                         ("Random search", "random")):
+        report = repro.autotune(
+            graph, target=target, trials=N_TRIALS, tuner=tuner,
+            options=TuningOptions(seed=42, batch_size=8,
+                                  ensure_no_regression=False))
+        result = report.results[0]
+        curves[label] = result.curve
+        best[label] = result.best_time
     return cudnn, curves, best
 
 

@@ -13,6 +13,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import repro
+from repro.autotvm import ApplyHistoryBest, TuningOptions
 from repro.autotvm.database import TuningDatabase
 from repro.frontend import (
     dcgan_generator,
@@ -21,7 +22,7 @@ from repro.frontend import (
     mobilenet,
     resnet18,
 )
-from repro.graph import clear_timing_cache, tune_graph
+from repro.graph import clear_timing_cache
 from repro.hardware import Target, arm_cpu, cuda, mali, pynq_cpu, vdla
 
 #: trials per workload used by the benchmark suite (kept modest so the whole
@@ -62,22 +63,28 @@ def tuned_database(model: str, target_name: str, dtype: str = "float32",
     """Tune (once per session) every heavy workload of a model for a target."""
     key = (model, target_name, dtype)
     if key not in _tuning_cache:
-        graph, _params, shapes = build_model(model, dtype)
-        target = get_target(target_name)
-        _tuning_cache[key] = tune_graph(graph, target, shapes, n_trial=n_trial,
-                                        tuner="model")
+        report = repro.autotune(build_model(model, dtype),
+                                target=get_target(target_name),
+                                options=TuningOptions(trials=n_trial,
+                                                      tuner="model"))
+        _tuning_cache[key] = report.database
     return _tuning_cache[key]
 
 
 def compile_model(model: str, target_name: str, opt_level: int = 2,
                   dtype: str = "float32", tuned: bool = True):
     """Compile a model end-to-end and return the compiled module."""
-    key = (model, target_name, opt_level, dtype)
+    key = (model, target_name, opt_level, dtype, tuned)
     if key not in _module_cache:
         target = get_target(target_name)
-        db = tuned_database(model, target_name, dtype) if tuned else None
-        module = repro.compile(build_model(model, dtype), target=target,
-                               opt_level=opt_level, tuning_db=db)
+        if tuned:
+            db = tuned_database(model, target_name, dtype)
+            with ApplyHistoryBest(db):
+                module = repro.compile(build_model(model, dtype), target=target,
+                                       opt_level=opt_level)
+        else:
+            module = repro.compile(build_model(model, dtype), target=target,
+                                   opt_level=opt_level)
         _module_cache[key] = module
     return _module_cache[key]
 
@@ -97,6 +104,16 @@ def print_series(title: str, rows: List[Tuple[str, Dict[str, float]]],
             value = values.get(column, float("nan"))
             line += f"{value:18.4f}"
         print(line + f"   [{unit}]")
+
+
+def conv_graph(batch, in_channels, height, width, out_channels, kernel, stride,
+               padding, depthwise=False, dtype="float32"):
+    """A single-convolution graph (for per-operator tuning/benchmarks)."""
+    from repro.graph.ir import Graph
+
+    return Graph([_conv_node(batch, in_channels, height, width, out_channels,
+                             kernel, stride, padding, depthwise=depthwise,
+                             dtype=dtype)])
 
 
 def _conv_node(batch, in_channels, height, width, out_channels, kernel, stride,

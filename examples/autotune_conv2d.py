@@ -1,51 +1,76 @@
-"""Autotuning a single convolution with the ML-based optimizer (Section 5).
+"""Autotuning a convolution with the unified tuning session (Section 5).
 
-Declares a ResNet-18 conv2d workload, explores its schedule space with three
-automation methods (random search, a blackbox genetic algorithm, and the
-ML-cost-model-guided simulated annealing explorer), and reports how quickly
-each finds fast configurations — a miniature version of Figure 12.
+Builds a one-convolution graph for a ResNet-18 workload and explores its
+schedule space through ``repro.autotune()`` with three automation methods
+(random search, a blackbox genetic algorithm, and the ML-cost-model-guided
+simulated annealing explorer), then compiles the graph under
+``report.apply_history_best()`` so the best configuration found is actually
+used — a miniature version of Figure 12 plus the history-based compile flow.
 
-Run:  python examples/autotune_conv2d.py
+Run:  python examples/autotune_conv2d.py [--trials N]
 """
 
-from repro import autotvm, te
-from repro.hardware import cuda
-from repro.topi import nn
-from repro.topi.schedules import gpu as gpu_sched
+import argparse
+
+import repro
+from repro.autotvm import TuningOptions
+from repro.graph.ir import Graph, Node
+from repro.graph.ops import OP_REGISTRY
 from repro.workloads import RESNET_CONV_WORKLOADS
 
 
-def conv2d_template(cfg, n, ci, h, w, co, kernel, stride, padding):
-    data = te.placeholder((n, ci, h, w), name="data")
-    weight = te.placeholder((co, ci, kernel, kernel), name="kernel")
-    conv = nn.conv2d_nchw(data, weight, stride, padding)
-    return gpu_sched.conv2d_gpu_template(cfg, data, weight, conv)
+def conv_graph(workload, batch: int = 1) -> Graph:
+    """A single-convolution graph for one ResNet workload."""
+    data = Node("null", "data")
+    data.shape = (batch, workload.in_channels, workload.height, workload.width)
+    data.dtype = "float32"
+    weight = Node("null", "weight")
+    weight.shape = (workload.out_channels, workload.in_channels,
+                    workload.kernel, workload.kernel)
+    weight.dtype = "float32"
+    conv = Node("conv2d", "conv", [data, weight],
+                {"strides": workload.stride, "padding": workload.padding})
+    conv.dtype = "float32"
+    conv.shape = OP_REGISTRY["conv2d"].infer_shape(
+        [data.shape, weight.shape], conv.attrs)
+    return Graph([conv])
 
 
 def main() -> None:
-    workload = RESNET_CONV_WORKLOADS[5]          # C6: 28x28, 128 -> 128, 3x3
-    target = cuda()
-    task = autotvm.create_task(
-        f"conv2d_{workload.name}", conv2d_template,
-        (1, workload.in_channels, workload.height, workload.width,
-         workload.out_channels, workload.kernel, workload.stride, workload.padding),
-        target)
-    print(f"Tuning {workload.name}: {len(task.config_space)} configurations, "
-          f"{workload.gflops:.2f} GFLOPs per run")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=40,
+                        help="measurement trials per tuner (default: 40)")
+    args = parser.parse_args()
 
-    n_trial = 40
-    for label, tuner_cls in (("random search", autotvm.RandomTuner),
-                             ("genetic algorithm", autotvm.GATuner),
-                             ("ML-based model", autotvm.ModelBasedTuner)):
-        tuner = tuner_cls(task, seed=0)
-        best = tuner.tune(n_trial=n_trial, batch_size=8)
-        gflops = workload.gflops / tuner.best_time
-        print(f"  {label:<20s} best {tuner.best_time * 1e6:8.1f} us "
-              f"({gflops:7.1f} GFLOP/s)  config #{best.index}")
+    workload = RESNET_CONV_WORKLOADS[5]          # C6: 28x28, 128 -> 128, 3x3
+    graph = conv_graph(workload)
+    print(f"Tuning {workload.name} ({workload.gflops:.2f} GFLOPs per run) "
+          f"with {args.trials} trials per method")
+
+    best_report = None
+    for label, tuner in (("random search", "random"),
+                         ("genetic algorithm", "ga"),
+                         ("ML-based model", "model")):
+        # ensure_no_regression=False: compare the raw tuners (the recorded
+        # config is then exactly the one that achieved the printed time).
+        report = repro.autotune(
+            graph, target="cuda", trials=args.trials, tuner=tuner,
+            options=TuningOptions(seed=0, batch_size=8,
+                                  ensure_no_regression=False))
+        result = report.results[0]
+        gflops = workload.gflops / result.best_time
+        print(f"  {label:<20s} best {result.best_time * 1e6:8.1f} us "
+              f"({gflops:7.1f} GFLOP/s)  config #{result.best_config.index}")
         if label == "ML-based model":
-            database = autotvm.TuningDatabase()
-            database.record(task, best, tuner.best_time)
-            print(f"  recorded best configuration: {best.to_dict()}")
+            best_report = report
+
+    # History-based compilation: any compile inside the context picks up the
+    # tuned configurations automatically.
+    with best_report.apply_history_best() as history:
+        module = repro.compile(graph, target="cuda")
+    print(f"compiled with history: {module.tuned_kernels}/{len(module.kernels)} "
+          f"tuned kernels ({history.hits} history hits), "
+          f"estimated {module.total_time * 1e6:.1f} us")
 
 
 if __name__ == "__main__":

@@ -15,13 +15,31 @@ The package mirrors the paper's architecture (Figure 2):
 * :mod:`repro.baselines` — simulated vendor libraries and framework baselines.
 
 Everything is exported lazily (PEP 562): ``import repro`` is instant, and
-``repro.compile`` / ``repro.frontend`` / ``repro.hardware`` /... resolve on
-first access.  The canonical one-call flow::
+``repro.compile`` / ``repro.autotune`` / ``repro.hardware`` /... resolve on
+first access.  The lazily resolved top-level attributes:
+
+===================  ====================================================
+``compile``          the unified compilation pipeline (``repro.compiler``)
+``CompiledModule``   its deployable result object
+``PassContext``      compilation configuration scope
+``Sequential``       the pass manager
+``TimingInstrument`` per-pass instrumentation
+``autotune``         the unified tuning session (``repro.autotvm``)
+``TuningReport``     its result object (configs, curves, database)
+``TuningOptions``    tuning-session configuration
+``ApplyHistoryBest`` compile-with-tuned-configs context
+===================  ====================================================
+
+The canonical flow — compile, or tune then compile with history::
 
     import repro
 
     module = repro.compile("resnet-18", target="cuda")
     executor = module.executor()
+
+    report = repro.autotune("resnet-18", target="cuda", trials=64)
+    with report.apply_history_best():
+        tuned = repro.compile("resnet-18", target="cuda")
 """
 
 from importlib import import_module
@@ -42,6 +60,10 @@ _LAZY_ATTRS = {
     "PassContext": ("repro.compiler", "PassContext"),
     "Sequential": ("repro.compiler", "Sequential"),
     "TimingInstrument": ("repro.compiler", "TimingInstrument"),
+    "autotune": ("repro.autotvm", "autotune"),
+    "ApplyHistoryBest": ("repro.autotvm", "ApplyHistoryBest"),
+    "TuningOptions": ("repro.autotvm", "TuningOptions"),
+    "TuningReport": ("repro.autotvm", "TuningReport"),
 }
 
 __all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -49,6 +71,8 @@ __all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
 if TYPE_CHECKING:  # static importers see the real modules
     from . import (autotvm, baselines, compiler, frontend, graph, hardware,
                    runtime, te, tir, topi, workloads)
+    from .autotvm import (ApplyHistoryBest, TuningOptions, TuningReport,
+                          autotune)
     from .compiler import (CompiledModule, PassContext, Sequential,
                            TimingInstrument, compile)
 

@@ -1,5 +1,12 @@
-"""ML-based automated schedule optimizer (paper Section 5)."""
+"""ML-based automated schedule optimizer (paper Section 5).
 
+The front door is :func:`repro.autotune` (re-exported here as
+:func:`autotune`): extract tasks -> tune with a registered tuner over the
+parallel measurer -> record bests in a :class:`TuningDatabase` -> compile
+under :class:`ApplyHistoryBest`.
+"""
+
+from .apply_history import ApplyHistoryBest
 from .cost_model import (
     GradientBoostedTrees,
     NeuralCostModel,
@@ -8,6 +15,16 @@ from .cost_model import (
 )
 from .database import TuningDatabase, TuningLogEntry
 from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord, RPCMeasurer
+from .options import ProgressEvent, TuningOptions
+from .parallel import ParallelMeasurer
+from .registry import TUNER_REGISTRY, get_tuner, list_tuners, register_tuner
+from .session import (
+    TaskTuningResult,
+    TuningReport,
+    autotune,
+    extract_tasks,
+    tune_tasks,
+)
 from .space import ConfigEntity, ConfigSpace, OtherEntity, SplitEntity
 from .task import TEMPLATE_REGISTRY, Task, create_task, get_template, register_template
 from .treernn import ASTNode, TreeRNNCostModel, build_ast
@@ -22,6 +39,7 @@ from .tuner import (
 )
 
 __all__ = [
+    "ApplyHistoryBest",
     "ConfigEntity",
     "ConfigSpace",
     "GATuner",
@@ -33,22 +51,34 @@ __all__ = [
     "ModelBasedTuner",
     "NeuralCostModel",
     "OtherEntity",
+    "ParallelMeasurer",
+    "ProgressEvent",
     "RPCMeasurer",
     "RandomTuner",
     "RegressionTree",
     "SimulatedAnnealingOptimizer",
     "SplitEntity",
     "TEMPLATE_REGISTRY",
+    "TUNER_REGISTRY",
     "Task",
+    "TaskTuningResult",
     "TreeRNNCostModel",
     "ASTNode",
     "build_ast",
     "Tuner",
     "TuningDatabase",
     "TuningLogEntry",
+    "TuningOptions",
     "TuningRecord",
+    "TuningReport",
+    "autotune",
     "create_task",
+    "extract_tasks",
     "get_template",
+    "get_tuner",
+    "list_tuners",
     "rank_correlation",
     "register_template",
+    "register_tuner",
+    "tune_tasks",
 ]

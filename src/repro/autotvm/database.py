@@ -4,16 +4,31 @@ Records every measurement so that (a) the cost model can be warm-started from
 the history of related workloads, and (b) the graph compiler can pick the
 best known configuration for each operator workload when building a model
 end-to-end.  Records can be persisted to a JSON-lines file.
+
+Entries are keyed by ``(task, target, config)``: recording the same
+configuration again keeps only the best time, and :meth:`TuningDatabase.load`
+dedupes whatever it reads, so repeated append/reload cycles neither bloat
+memory nor (via :meth:`compact`) the on-disk log.  An entry may carry the
+feature vector of its lowered program, which lets a later session warm-start
+its cost model from history of the *same operator* even when the exact
+workload (and hence the configuration space) differs.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["TuningLogEntry", "TuningDatabase"]
+__all__ = ["TuningLogEntry", "TuningDatabase", "operator_of"]
+
+
+def operator_of(task_name: str) -> str:
+    """Operator family of a task/workload name (``conv2d_(...)`` ->
+    ``conv2d``).  The single parser of the ``kind_(args)`` name format used
+    by tasks, log entries and the compiler's history lookups."""
+    return task_name.split("_(")[0]
 
 
 @dataclass
@@ -25,21 +40,36 @@ class TuningLogEntry:
     config_index: int
     config_dict: Dict[str, object]
     mean_time: float
+    #: optional loop-program feature vector (for transfer learning)
+    features: Optional[List[float]] = None
+
+    @property
+    def operator(self) -> str:
+        """Operator family of the workload (``conv2d_(...)`` -> ``conv2d``)."""
+        return operator_of(self.task_name)
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.task_name, self.target_name, self.config_index)
 
     def to_json(self) -> str:
-        return json.dumps({
+        obj = {
             "task": self.task_name,
             "target": self.target_name,
             "config_index": self.config_index,
             "config": self.config_dict,
             "time": self.mean_time,
-        })
+        }
+        if self.features is not None:
+            obj["features"] = list(self.features)
+        return json.dumps(obj)
 
     @staticmethod
     def from_json(line: str) -> "TuningLogEntry":
         obj = json.loads(line)
         return TuningLogEntry(obj["task"], obj["target"], obj["config_index"],
-                              obj["config"], obj["time"])
+                              obj["config"], obj["time"],
+                              features=obj.get("features"))
 
 
 class TuningDatabase:
@@ -47,42 +77,91 @@ class TuningDatabase:
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
-        self._entries: List[TuningLogEntry] = []
+        self._by_key: Dict[Tuple[str, str, int], TuningLogEntry] = {}
+        # best entry per (task, target) — kernel_time queries this on every
+        # templated node of every compile, so it must stay O(1)
+        self._best: Dict[Tuple[str, str], TuningLogEntry] = {}
         if path and os.path.exists(path):
             self.load(path)
 
-    def add(self, entry: TuningLogEntry) -> None:
-        self._entries.append(entry)
+    def _index(self, entry: TuningLogEntry) -> None:
+        best_key = (entry.task_name, entry.target_name)
+        best = self._best.get(best_key)
+        if best is None or entry.mean_time < best.mean_time:
+            self._best[best_key] = entry
+
+    def add(self, entry: TuningLogEntry) -> bool:
+        """Insert an entry; duplicates keep the best time.
+
+        Returns ``True`` when the entry was new information (no identical
+        ``(task, target, config)`` record with an equal-or-better time was
+        already present) — only then is it appended to the on-disk log.
+        """
+        existing = self._by_key.get(entry.key)
+        if existing is not None and existing.mean_time <= entry.mean_time:
+            if entry.features is not None and existing.features is None:
+                existing.features = list(entry.features)
+            return False
+        self._by_key[entry.key] = entry
+        self._index(entry)
         if self.path:
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(entry.to_json() + "\n")
+        return True
 
-    def record(self, task, config, mean_time: float) -> TuningLogEntry:
+    def record(self, task, config, mean_time: float,
+               features: Optional[Sequence[float]] = None) -> TuningLogEntry:
         entry = TuningLogEntry(task.name, task.target.name, config.index,
-                               config.to_dict(), mean_time)
+                               config.to_dict(), mean_time,
+                               features=list(features) if features is not None
+                               else None)
         self.add(entry)
         return entry
 
     def load(self, path: str) -> None:
+        """Read a JSONL log, deduping identical ``(task, target, config)``
+        entries (keeping the best time).  Binds this database to ``path`` so
+        later :meth:`add` calls persist there."""
+        self.path = path
         with open(path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    self._entries.append(TuningLogEntry.from_json(line))
+                if not line:
+                    continue
+                entry = TuningLogEntry.from_json(line)
+                existing = self._by_key.get(entry.key)
+                if existing is None or entry.mean_time < existing.mean_time:
+                    self._by_key[entry.key] = entry
+                    self._index(entry)
+                elif entry.features is not None and existing.features is None:
+                    existing.features = list(entry.features)
+
+    def compact(self) -> None:
+        """Rewrite the on-disk log with exactly the deduped in-memory entries."""
+        if not self.path:
+            return
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for entry in self._by_key.values():
+                handle.write(entry.to_json() + "\n")
 
     def best(self, task_name: str, target_name: Optional[str] = None
              ) -> Optional[TuningLogEntry]:
-        candidates = [e for e in self._entries if e.task_name == task_name
-                      and (target_name is None or e.target_name == target_name)]
+        if target_name is not None:             # O(1): the compiler's hot path
+            return self._best.get((task_name, target_name))
+        candidates = [e for e in self._best.values() if e.task_name == task_name]
         if not candidates:
             return None
         return min(candidates, key=lambda e: e.mean_time)
 
     def entries_for(self, task_name: str) -> List[TuningLogEntry]:
-        return [e for e in self._entries if e.task_name == task_name]
+        return [e for e in self._by_key.values() if e.task_name == task_name]
+
+    def entries_for_operator(self, operator: str) -> List[TuningLogEntry]:
+        """All entries whose workload belongs to an operator family."""
+        return [e for e in self._by_key.values() if e.operator == operator]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._by_key)
 
-    def __iter__(self):
-        return iter(self._entries)
+    def __iter__(self) -> Iterator[TuningLogEntry]:
+        return iter(self._by_key.values())

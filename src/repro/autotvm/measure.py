@@ -9,6 +9,7 @@ request a device, run remotely, collect timings — is exercised.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -52,7 +53,14 @@ class MeasureResultRecord:
 
 
 class LocalMeasurer:
-    """Lower and measure configurations directly against the target's model."""
+    """Lower and measure configurations directly against the target's model.
+
+    Measurement noise is drawn from an RNG derived from ``(seed, task,
+    config index)`` — never from shared mutable state — so results depend
+    only on *what* is measured, not on the order or concurrency of the
+    measurements.  The parallel batch measurer relies on this to stay
+    bit-identical with this serial path.
+    """
 
     def __init__(self, number: int = 3, seed: int = 0):
         self.number = number
@@ -66,14 +74,25 @@ class LocalMeasurer:
             self.num_measured += 1
         return records
 
+    def _input_rng(self, inp: MeasureInput) -> np.random.Generator:
+        """Deterministic, order-independent noise stream for one input."""
+        digest = hashlib.sha256(
+            f"{inp.task.name}:{inp.config.index}:{self.seed}".encode())
+        return np.random.default_rng(int.from_bytes(digest.digest()[:8], "little"))
+
+    def _build_one(self, inp: MeasureInput):
+        """Builder half: lower the config and extract program features."""
+        func = inp.task.lower(inp.config)
+        return tir.extract_features(func)
+
     def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
         try:
-            func = inp.task.lower(inp.config)
-            features = tir.extract_features(func)
+            features = self._build_one(inp)
         except Exception as exc:
             return MeasureResultRecord(inp, float("inf"), None, error=str(exc))
         model = inp.task.target.model
-        result: MeasureResult = model.measure(features, number=self.number)
+        result: MeasureResult = model.measure(features, number=self.number,
+                                              rng=self._input_rng(inp))
         return MeasureResultRecord(inp, result.mean_time, features, error=result.error)
 
 
@@ -88,8 +107,7 @@ class RPCMeasurer(LocalMeasurer):
 
     def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
         try:
-            func = inp.task.lower(inp.config)
-            features = tir.extract_features(func)
+            features = self._build_one(inp)
         except Exception as exc:
             return MeasureResultRecord(inp, float("inf"), None, error=str(exc))
         session = self.tracker.request(self.device_key)

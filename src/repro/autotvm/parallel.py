@@ -1,0 +1,69 @@
+"""Parallel batch measurement (paper Section 5.4).
+
+The paper's measurement pipeline splits candidate evaluation into a *builder*
+(compile/lower the schedule, extract its program features) and a *runner*
+(time the kernel on a device from the pool).  :class:`ParallelMeasurer`
+reproduces that split over a thread pool: a batch of candidates is lowered
+concurrently by the builder workers, then timed by the runner workers.
+
+Because every measurement's noise stream is derived from ``(seed, task,
+config index)`` (see :class:`~repro.autotvm.measure.LocalMeasurer`), results
+are **bit-identical** to the serial path and independent of worker count or
+completion order — a fixed seed yields the same tuning trajectory whether
+measurements run on 1 worker or 16.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..hardware.base import MeasureResult
+from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord
+
+__all__ = ["ParallelMeasurer"]
+
+
+class ParallelMeasurer(LocalMeasurer):
+    """Builder/runner split over a worker pool.
+
+    ``n_parallel=1`` degenerates to the serial loop (no pool is created),
+    which is also the fallback whenever a batch has a single candidate.
+    """
+
+    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0):
+        super().__init__(number=number, seed=seed)
+        if n_parallel <= 0:
+            raise ValueError(f"n_parallel must be positive, got {n_parallel}")
+        self.n_parallel = n_parallel
+
+    def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResultRecord]:
+        inputs = list(inputs)
+        if self.n_parallel == 1 or len(inputs) <= 1:
+            return super().measure(inputs)
+
+        workers = min(self.n_parallel, len(inputs))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # Builder phase: lower + featurise every candidate concurrently.
+            built = list(pool.map(self._build_checked, inputs))
+            # Runner phase: time the successfully built candidates.
+            records = list(pool.map(self._run_built, inputs, built))
+        self.num_measured += len(inputs)
+        return records
+
+    # ------------------------------------------------------------- phases
+    def _build_checked(self, inp: MeasureInput):
+        """Builder worker: returns features, or the build error."""
+        try:
+            return self._build_one(inp)
+        except Exception as exc:
+            return exc
+
+    def _run_built(self, inp: MeasureInput, built) -> MeasureResultRecord:
+        """Runner worker: time one successfully built candidate."""
+        if isinstance(built, Exception):
+            return MeasureResultRecord(inp, float("inf"), None, error=str(built))
+        model = inp.task.target.model
+        result: MeasureResult = model.measure(built, number=self.number,
+                                              rng=self._input_rng(inp))
+        return MeasureResultRecord(inp, result.mean_time, built, error=result.error)

@@ -1,0 +1,53 @@
+"""Named tuner registry.
+
+Tuners register under short names (``"model"``, ``"random"``, ``"ga"``,
+``"grid"``) so the tuning session, benchmarks and CLI examples select them by
+string.  Unknown names fail loudly with the list of valid choices — the same
+contract the pass registry and the target/model registries follow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+__all__ = ["TUNER_REGISTRY", "register_tuner", "get_tuner", "list_tuners"]
+
+#: name -> Tuner subclass
+TUNER_REGISTRY: Dict[str, type] = {}
+
+
+def register_tuner(name: str, cls: Optional[type] = None,
+                   override: bool = False) -> Callable:
+    """Register a :class:`~repro.autotvm.tuner.Tuner` subclass under ``name``.
+
+    Usable as a decorator::
+
+        @register_tuner("annealing")
+        class AnnealingTuner(Tuner): ...
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"tuner name must be a non-empty string, got {name!r}")
+
+    def _register(tuner_cls: type) -> type:
+        if name in TUNER_REGISTRY and not override:
+            raise ValueError(
+                f"Tuner {name!r} already registered to "
+                f"{TUNER_REGISTRY[name].__name__}; pass override=True to replace")
+        TUNER_REGISTRY[name] = tuner_cls
+        return tuner_cls
+
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+def get_tuner(name: str) -> type:
+    """Look up a tuner class by its registered name (loud on typos)."""
+    if name not in TUNER_REGISTRY:
+        raise ValueError(
+            f"Unknown tuner {name!r}; registered tuners: {sorted(TUNER_REGISTRY)}")
+    return TUNER_REGISTRY[name]
+
+
+def list_tuners() -> List[str]:
+    return sorted(TUNER_REGISTRY)

@@ -1,0 +1,355 @@
+"""The unified tuning session: :func:`repro.autotune` (paper Section 5).
+
+Mirrors what :func:`repro.compile` did for compilation — one front door for
+the whole offline optimization loop.  ``autotune`` accepts the same model
+forms as ``compile`` (a :class:`~repro.graph.ir.Graph`, a frontend model
+tuple, or a model-zoo name), extracts the heavy-operator tuning tasks,
+explores each task's schedule space with a registered tuner driven by the
+parallel batch measurer, and returns a single :class:`TuningReport` carrying
+per-task best configurations, trial curves (Figure 12-ready), timing, and the
+:class:`~repro.autotvm.database.TuningDatabase` that history-based
+compilation consumes::
+
+    report = repro.autotune("resnet-18", target="cuda", trials=64)
+    with report.apply_history_best():
+        module = repro.compile("resnet-18", target="cuda")
+
+Transfer learning: when a database with history is passed in, the ML cost
+model of each task is warm-started from prior entries of the same operator,
+so new sessions start model-guided instead of random.  With
+``ensure_no_regression`` (default), each recorded best is validated against
+the compiler's untuned fallback heuristic, so a build inside
+``apply_history_best()`` is never slower than the untuned build.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .apply_history import ApplyHistoryBest
+from .database import TuningDatabase
+from .measure import LocalMeasurer
+from .options import ProgressEvent, TuningOptions
+from .parallel import ParallelMeasurer
+from .registry import get_tuner
+from .space import ConfigEntity
+from .task import Task
+from .tuner import Tuner
+
+__all__ = ["TaskTuningResult", "TuningReport", "autotune", "extract_tasks",
+           "tune_tasks"]
+
+logger = logging.getLogger("repro.autotvm")
+
+
+# ---------------------------------------------------------------------------
+# Report objects
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskTuningResult:
+    """Outcome of tuning one operator workload."""
+
+    task: Task
+    best_config: ConfigEntity       #: configuration recorded in the database
+    best_time: float                #: best *measured* time during tuning (s)
+    estimate: float                 #: deterministic model estimate of best_config
+    curve: List[float]              #: best-so-far per trial (Figure 12-ready)
+    trials: int                     #: measurement trials actually spent
+    elapsed: float                  #: wall seconds spent on this task
+    warm_samples: int = 0           #: historical samples used for warm start
+    floored: bool = False           #: fallback config won; it was recorded instead
+
+    @property
+    def task_name(self) -> str:
+        return self.task.name
+
+    @property
+    def gflops(self) -> float:
+        if not math.isfinite(self.estimate) or self.estimate <= 0:
+            return 0.0
+        return self.task.flop / self.estimate / 1e9
+
+
+@dataclass
+class TuningReport:
+    """Everything one :func:`autotune` session produced."""
+
+    results: List[TaskTuningResult]
+    database: TuningDatabase
+    target_name: str
+    options: TuningOptions
+    elapsed: float = 0.0
+
+    def apply_history_best(self) -> ApplyHistoryBest:
+        """Context manager under which ``repro.compile`` uses these configs."""
+        return ApplyHistoryBest(self.database)
+
+    def best_configs(self) -> Dict[str, ConfigEntity]:
+        return {r.task_name: r.best_config for r in self.results}
+
+    def curves(self) -> Dict[str, List[float]]:
+        """Per-task best-so-far trial curves (Figure 12-ready)."""
+        return {r.task_name: list(r.curve) for r in self.results}
+
+    @property
+    def total_trials(self) -> int:
+        return sum(r.trials for r in self.results)
+
+    def summary(self) -> str:
+        """Human-readable per-task table."""
+        if not self.results:
+            return "(no tasks tuned)"
+        lines = [f"{'task':<44} {'space':>8} {'trials':>7} {'best (us)':>10} "
+                 f"{'GFLOP/s':>8} {'note':>8}"]
+        for r in self.results:
+            name = r.task_name if len(r.task_name) <= 44 else r.task_name[:41] + "..."
+            note = "floored" if r.floored else ("warm" if r.warm_samples else "")
+            lines.append(f"{name:<44} {len(r.task.config_space):>8} "
+                         f"{r.trials:>7} {r.estimate * 1e6:>10.1f} "
+                         f"{r.gflops:>8.1f} {note:>8}")
+        lines.append(f"{len(self.results)} tasks, {self.total_trials} trials, "
+                     f"{self.elapsed:.1f}s, target={self.target_name}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return (f"TuningReport(tasks={len(self.results)}, "
+                f"trials={self.total_trials}, target={self.target_name}, "
+                f"elapsed={self.elapsed:.1f}s)")
+
+
+# ---------------------------------------------------------------------------
+# Task extraction
+# ---------------------------------------------------------------------------
+
+def _normalise_model(model, target, params, input_shapes):
+    """Resolve compile-parity model forms to (graph-with-shapes, target)."""
+    # Imported lazily: the compiler package imports repro.autotvm at load
+    # time, so the session must not import it back at module level.
+    from ..compiler.driver import _resolve_model, _resolve_target
+
+    graph, _params, shapes = _resolve_model(model, params, input_shapes)
+    resolved = _resolve_target(target)
+    if shapes:
+        graph.infer_shapes(shapes)
+    return graph, resolved
+
+
+def _extract_task_nodes(graph, target) -> List[Tuple[Task, object]]:
+    """Unique (task, representative node) pairs for the heavy operators."""
+    from ..graph.op_timing import make_task_for_node
+
+    pairs: Dict[str, Tuple[Task, object]] = {}
+    for node in graph.op_nodes:
+        if node.op not in ("conv2d", "depthwise_conv2d", "dense",
+                           "conv2d_transpose"):
+            continue
+        if target.device_type == "vdla" and node.op == "conv2d":
+            # The compiler maps vdla convolutions through the accelerator's
+            # fixed GEMM schedule and never consults the tuning history for
+            # them (see graph.op_timing.kernel_time) — tuning would be wasted.
+            continue
+        task = make_task_for_node(node, target)
+        if task is not None and task.name not in pairs:
+            pairs[task.name] = (task, node)
+    return list(pairs.values())
+
+
+def extract_tasks(model, target=None, *, params=None, input_shapes=None
+                  ) -> List[Task]:
+    """Unique tuning tasks for a model's heavy operators.
+
+    Accepts the same model forms as :func:`repro.compile` / :func:`autotune`.
+    """
+    graph, resolved = _normalise_model(model, target, params, input_shapes)
+    return [task for task, _node in _extract_task_nodes(graph, resolved)]
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+def _make_measurer(options: TuningOptions, seed: int) -> LocalMeasurer:
+    if options.n_parallel > 1:
+        return ParallelMeasurer(n_parallel=options.n_parallel,
+                                number=options.measure_number, seed=seed)
+    return LocalMeasurer(number=options.measure_number, seed=seed)
+
+
+def _config_stats(task: Task, config: ConfigEntity
+                  ) -> Tuple[float, Optional[List[float]]]:
+    """One lowering of ``config``: its deterministic hardware-model estimate
+    and its feature vector (``(inf, None)`` for invalid schedules)."""
+    from .. import tir
+
+    try:
+        features = tir.extract_features(task.lower(config))
+        return float(task.target.model.estimate(features)), \
+            list(features.to_vector())
+    except Exception:
+        return float("inf"), None
+
+
+def _progress_callback(task_index: int, num_tasks: int,
+                       options: TuningOptions, start: float):
+    total = options.trials
+
+    def callback(tuner: Tuner, results) -> None:
+        if not options.callbacks:
+            return
+        event = ProgressEvent(
+            task_name=tuner.task.name,
+            task_index=task_index,
+            num_tasks=num_tasks,
+            trial=len(tuner.records),
+            total_trials=min(total, len(tuner.task.config_space)),
+            best_time=tuner.best_time,
+            batch_times=tuple(r.mean_time for r in results),
+            elapsed=time.perf_counter() - start,
+        )
+        for cb in options.callbacks:
+            cb(event)
+
+    return callback
+
+
+def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
+                   options: TuningOptions, database: TuningDatabase
+                   ) -> TaskTuningResult:
+    start = time.perf_counter()
+    seed = options.seed + task_index
+    tuner_cls = get_tuner(options.tuner)
+    tuner = tuner_cls(task, seed=seed, **dict(options.tuner_args))
+
+    warm_samples = 0
+    if options.warm_start and len(database) and hasattr(tuner, "warm_start"):
+        warm_samples = tuner.warm_start(database)
+
+    measurer = _make_measurer(options, seed)
+    best = tuner.tune(n_trial=options.trials, measurer=measurer,
+                      batch_size=options.batch_size,
+                      callback=_progress_callback(task_index, num_tasks,
+                                                  options, start),
+                      early_stopping=options.early_stopping)
+    if options.callbacks and \
+            len(tuner.records) < min(options.trials, len(task.config_space)):
+        # The task stopped early; emit a terminal event (done == True) so
+        # progress consumers do not wait for the unspent trial budget.
+        final = ProgressEvent(task_name=task.name, task_index=task_index,
+                              num_tasks=num_tasks, trial=len(tuner.records),
+                              total_trials=len(tuner.records),
+                              best_time=tuner.best_time,
+                              elapsed=time.perf_counter() - start)
+        for cb in options.callbacks:
+            cb(final)
+
+    # Validate against the compiler's untuned fallback heuristic so that
+    # history-based compilation can never regress a build: if the fallback
+    # configuration's deterministic estimate beats the tuned one, record the
+    # fallback configuration instead.
+    estimate, features = _config_stats(task, best)
+    config, floored = best, False
+    if options.ensure_no_regression and node is not None:
+        from ..graph.op_timing import fallback_config_for_node
+
+        fb_time, fb_index = fallback_config_for_node(node, task.target)
+        if math.isfinite(fb_time) and fb_time < estimate:
+            logger.info("%s: tuned config lost to the fallback heuristic "
+                        "(%.3e s vs %.3e s); recording the fallback config",
+                        task.name, estimate, fb_time)
+            config = task.config_space.get(fb_index)
+            features = _config_stats(task, config)[1]
+            estimate = fb_time
+            floored = True
+
+    database.record(task, config, estimate, features=features)
+    elapsed = time.perf_counter() - start
+    logger.info("%s: %d trials in %.1fs, best %.3e s (%d-config space)%s",
+                task.name, len(tuner.records), elapsed, estimate,
+                len(task.config_space),
+                f", warm start {warm_samples}" if warm_samples else "")
+    return TaskTuningResult(task=task, best_config=config,
+                            best_time=tuner.best_time, estimate=estimate,
+                            curve=tuner.best_history(),
+                            trials=len(tuner.records), elapsed=elapsed,
+                            warm_samples=warm_samples, floored=floored)
+
+
+def _run_session(pairs: Sequence[Tuple[Task, object]], options: TuningOptions,
+                 database: Optional[TuningDatabase], target_name: str
+                 ) -> TuningReport:
+    get_tuner(options.tuner)          # fail loudly before any work
+    database = database if database is not None else TuningDatabase()
+    start = time.perf_counter()
+    logger.info("tuning session: %d tasks x %d trials (tuner=%s, target=%s)",
+                len(pairs), options.trials, options.tuner, target_name)
+    results = [_tune_one_task(task, node, i, len(pairs), options, database)
+               for i, (task, node) in enumerate(pairs)]
+    report = TuningReport(results=results, database=database,
+                          target_name=target_name, options=options,
+                          elapsed=time.perf_counter() - start)
+    logger.info("tuning session done: %d tasks, %d trials, %.1fs",
+                len(report.results), report.total_trials, report.elapsed)
+    return report
+
+
+def autotune(model, target=None, *, trials: Optional[int] = None,
+             tuner: Optional[str] = None,
+             options: Optional[TuningOptions] = None,
+             database: Optional[TuningDatabase] = None,
+             params=None, input_shapes=None) -> TuningReport:
+    """Extract, tune and record every heavy workload of ``model``.
+
+    Parameters
+    ----------
+    model:
+        Same forms as :func:`repro.compile`: a :class:`~repro.graph.ir.Graph`,
+        a frontend model tuple ``(graph, params[, input_shapes])``, or a
+        model-zoo name such as ``"resnet-18"``.
+    target:
+        A :class:`~repro.hardware.target.Target` or a short name
+        (``"cuda"``, ``"gpu"``, ``"arm_cpu"``, ``"mali"``, ``"vdla"``).
+    trials / tuner:
+        Shortcuts overriding the corresponding :class:`TuningOptions` fields.
+    options:
+        Full session configuration (batch size, early stopping, parallelism,
+        seed, callbacks, ...).
+    database:
+        Existing tuning history to extend; enables transfer-learning warm
+        start of the cost model.  A fresh in-memory database by default.
+    params / input_shapes:
+        Override or supplement whatever the model form provided.
+
+    Returns the :class:`TuningReport`; compile under
+    ``report.apply_history_best()`` to use the tuned configurations.
+    """
+    opts = (options or TuningOptions()).overridden(trials=trials, tuner=tuner)
+    graph, resolved = _normalise_model(model, target, params, input_shapes)
+    pairs = _extract_task_nodes(graph, resolved)
+    return _run_session(pairs, opts, database, resolved.name)
+
+
+def tune_tasks(tasks: Sequence[Task], options: Optional[TuningOptions] = None,
+               database: Optional[TuningDatabase] = None, *,
+               trials: Optional[int] = None, tuner: Optional[str] = None,
+               seed: Optional[int] = None) -> TuningReport:
+    """Tune an explicit list of tasks (no graph extraction).
+
+    The fallback-floor validation of :func:`autotune` is skipped here — with
+    no originating graph node there is no untuned build to compare against.
+    """
+    opts = (options or TuningOptions()).overridden(trials=trials, tuner=tuner,
+                                                   seed=seed)
+    target_name = tasks[0].target.name if tasks else "?"
+    pairs = [(task, None) for task in tasks]
+    return _run_session(pairs, opts, database, target_name)

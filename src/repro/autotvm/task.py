@@ -52,6 +52,13 @@ class Task:
 
     # ------------------------------------------------------------------ api
     @property
+    def operator(self) -> str:
+        """Operator family of the workload (``conv2d_(...)`` -> ``conv2d``)."""
+        from .database import operator_of
+
+        return operator_of(self.name)
+
+    @property
     def flop(self) -> float:
         """Total floating point work of the default-schedule program."""
         func = self.lower(self.config_space.get(0))

@@ -14,6 +14,7 @@ compares:
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from dataclasses import dataclass, field
@@ -23,11 +24,14 @@ import numpy as np
 
 from .cost_model import GradientBoostedTrees, NeuralCostModel
 from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord
+from .registry import register_tuner
 from .space import ConfigEntity
 from .task import Task
 
 __all__ = ["TuningRecord", "Tuner", "RandomTuner", "GridSearchTuner", "GATuner",
            "ModelBasedTuner", "SimulatedAnnealingOptimizer"]
+
+logger = logging.getLogger("repro.autotvm")
 
 
 @dataclass
@@ -66,10 +70,18 @@ class Tuner:
     # -- main loop ----------------------------------------------------------------
     def tune(self, n_trial: int, measurer: Optional[LocalMeasurer] = None,
              batch_size: int = 8,
-             callback: Optional[Callable[["Tuner", List[MeasureResultRecord]], None]] = None
+             callback: Optional[Callable[["Tuner", List[MeasureResultRecord]], None]] = None,
+             early_stopping: Optional[int] = None
              ) -> ConfigEntity:
+        """Run the measurement loop for up to ``n_trial`` trials.
+
+        ``early_stopping`` stops the loop after that many consecutive trials
+        without improving on the best measured time.  ``callback`` is invoked
+        after every measured batch with ``(tuner, batch_results)``.
+        """
         measurer = measurer or LocalMeasurer()
         trials_done = 0
+        trials_since_best = 0
         space_size = len(self.task.config_space)
         n_trial = min(n_trial, space_size)
         while trials_done < n_trial:
@@ -85,10 +97,20 @@ class Tuner:
                 if time < self.best_time:
                     self.best_time = time
                     self.best_config = inp.config
+                    trials_since_best = 0
+                else:
+                    trials_since_best += 1
                 trials_done += 1
             self.update(inputs, results)
             if callback is not None:
                 callback(self, results)
+            logger.debug("%s: trial %d/%d best %.3e s",
+                         self.task.name, trials_done, n_trial, self.best_time)
+            if early_stopping is not None and trials_since_best >= early_stopping:
+                logger.info("%s: early stop after %d trials (%d without "
+                            "improvement)", self.task.name, trials_done,
+                            trials_since_best)
+                break
         if self.best_config is None:
             self.best_config = self.task.config_space.get(0)
         return self.best_config
@@ -98,13 +120,15 @@ class Tuner:
         space = self.task.config_space
         total = len(space)
         out: List[ConfigEntity] = []
+        pending: set = set()       # O(1) membership for this batch's picks
         attempts = 0
         while len(out) < count and attempts < count * 50 \
                 and len(self._visited) + len(out) < total:
             index = self.rng.randrange(total)
-            if index in self._visited or any(c.index == index for c in out):
+            if index in self._visited or index in pending:
                 attempts += 1
                 continue
+            pending.add(index)
             out.append(space.get(index))
         return out
 
@@ -118,6 +142,7 @@ class Tuner:
         return history
 
 
+@register_tuner("random")
 class RandomTuner(Tuner):
     """Uniform random exploration of the configuration space."""
 
@@ -125,6 +150,7 @@ class RandomTuner(Tuner):
         return self._random_unvisited(batch_size)
 
 
+@register_tuner("grid")
 class GridSearchTuner(Tuner):
     """Enumerate the space in index order."""
 
@@ -141,6 +167,7 @@ class GridSearchTuner(Tuner):
         return out
 
 
+@register_tuner("ga")
 class GATuner(Tuner):
     """Blackbox genetic algorithm over knob indices (no cost model)."""
 
@@ -163,6 +190,7 @@ class GATuner(Tuner):
         ranked = sorted(self._population, key=lambda item: item[1])
         parents = [idx for idx, _ in ranked[:max(self.elite, 2)]]
         children: List[ConfigEntity] = []
+        pending: set = set()
         dims = space.dims
         attempts = 0
         while len(children) < batch_size and attempts < batch_size * 50:
@@ -175,8 +203,9 @@ class GATuner(Tuner):
                      else v for i, v in enumerate(cross)]
             index = space.index_of({name: child[i]
                                     for i, name in enumerate(space.knob_names)})
-            if index in self._visited or any(c.index == index for c in children):
+            if index in self._visited or index in pending:
                 continue
+            pending.add(index)
             children.append(space.get(index))
         if len(children) < batch_size:
             children.extend(self._random_unvisited(batch_size - len(children)))
@@ -246,14 +275,29 @@ class SimulatedAnnealingOptimizer:
         return candidates[:num_best]
 
 
+@register_tuner("model")
 class ModelBasedTuner(Tuner):
     """The paper's ML-guided explorer (Figure 11).
 
     Measured configurations are featurised from their lowered loop programs;
     a cost model is trained on (features, throughput) and a simulated
     annealing search over the model's predictions proposes the next batch of
-    candidates to measure on the device.
+    candidates to measure on the device.  :meth:`warm_start` seeds the
+    training set from a tuning database, so history of the same operator
+    (this workload or a related shape) transfers into a new session.
     """
+
+    #: lowered-program features shared across tuner instances — lowering is
+    #: deterministic per (workload, target, config), and re-tuning the same
+    #: workload (new sessions, warm starts, benchmarks) is common.  Bounded
+    #: by _SHARED_FEATURES_LIMIT and clearable via clear_shared_features()
+    #: (also hooked into graph.clear_timing_cache()).
+    _SHARED_FEATURES: Dict[Tuple[str, str, int], np.ndarray] = {}
+    _SHARED_FEATURES_LIMIT = 50_000
+
+    @classmethod
+    def clear_shared_features(cls) -> None:
+        cls._SHARED_FEATURES.clear()
 
     def __init__(self, task: Task, cost_model: Optional[object] = None,
                  plan_size: int = 16, sa_steps: int = 64, seed: int = 0,
@@ -273,14 +317,23 @@ class ModelBasedTuner(Tuner):
     # -- featurisation ------------------------------------------------------------
     def _features_of(self, index: int) -> np.ndarray:
         if index not in self._feature_cache:
-            from .. import tir
+            shared_key = (self.task.name, self.task.target.name, index)
+            vector = self._SHARED_FEATURES.get(shared_key)
+            if vector is None:
+                from .. import tir
 
-            config = self.task.config_space.get(index)
-            try:
-                func = self.task.lower(config)
-                vector = np.asarray(tir.extract_features(func).to_vector())
-            except Exception:
-                vector = np.zeros(len(next(iter(self._feature_cache.values()), np.zeros(42))))
+                config = self.task.config_space.get(index)
+                try:
+                    func = self.task.lower(config)
+                    vector = np.asarray(tir.extract_features(func).to_vector())
+                    if len(self._SHARED_FEATURES) >= self._SHARED_FEATURES_LIMIT:
+                        self._SHARED_FEATURES.clear()
+                    self._SHARED_FEATURES[shared_key] = vector
+                except Exception:
+                    # Instance-local placeholder only: its length depends on
+                    # this instance's cache state, so it must not be shared.
+                    vector = np.zeros(len(next(iter(self._feature_cache.values()),
+                                               np.zeros(42))))
             self._feature_cache[index] = vector
         return self._feature_cache[index]
 
@@ -315,6 +368,9 @@ class ModelBasedTuner(Tuner):
             self._feature_cache[inp.config.index] = features
             self._train_features.append(features)
             self._train_throughput.append(1.0 / max(res.mean_time, 1e-12))
+        self._maybe_fit()
+
+    def _maybe_fit(self) -> None:
         if len(self._train_features) >= 8:
             x = np.stack(self._train_features)
             y = np.asarray(self._train_throughput)
@@ -322,3 +378,52 @@ class ModelBasedTuner(Tuner):
             y = y / y.max()
             self.cost_model.fit(x, y)
             self._trained = True
+
+    # -- transfer learning -----------------------------------------------------
+    def warm_start(self, database, max_entries: int = 128) -> int:
+        """Seed the cost model from prior measurements of the same operator.
+
+        Entries for this exact workload are featurised through this task's
+        configuration space; entries for *other* workloads of the same
+        operator family contribute their stored feature vectors (recorded by
+        earlier sessions).  Returns the number of samples added; if enough
+        history exists the model is fitted immediately, so the very first
+        batch is already model-guided instead of random.
+        """
+        if database is None:
+            return 0
+        added = 0
+        dim: Optional[int] = None
+        if self._train_features:
+            dim = len(self._train_features[0])
+        # Same-workload entries first: they are featurised through this
+        # task's own space, anchoring the expected feature dimension before
+        # any cross-workload entry with a stale stored vector is seen.
+        entries = sorted(database,
+                         key=lambda e: e.task_name != self.task.name)
+        for entry in entries:
+            if added >= max_entries:
+                break
+            if entry.operator != self.task.operator or entry.mean_time <= 0 \
+                    or not math.isfinite(entry.mean_time):
+                continue
+            if entry.task_name == self.task.name:
+                if entry.config_index >= len(self.task.config_space):
+                    continue
+                features = self._features_of(entry.config_index)
+            elif entry.features is not None:
+                features = np.asarray(entry.features, dtype=float)
+            else:
+                continue
+            if dim is None:
+                dim = len(features)
+            if len(features) != dim:
+                continue
+            self._train_features.append(features)
+            self._train_throughput.append(1.0 / entry.mean_time)
+            added += 1
+        if added:
+            logger.info("%s: warm start with %d historical samples",
+                        self.task.name, added)
+            self._maybe_fit()
+        return added

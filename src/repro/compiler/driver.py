@@ -12,13 +12,15 @@ records.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..autotvm.apply_history import ApplyHistoryBest
 from ..autotvm.database import TuningDatabase
 from ..graph.ir import Graph
-from ..graph.op_timing import estimate_node_time
+from ..graph.op_timing import kernel_time
 from ..graph.passes import MemoryPlan, fuse_ops as _fuse_ops_raw, plan_memory
 from ..hardware.target import Target, create_target
 from . import passes as _standard_passes  # noqa: F401  (registers the passes)
@@ -103,14 +105,33 @@ def _generate_kernels(state: CompileState,
         node_target = state.target
         if heterogeneous_targets and group.master.op in heterogeneous_targets:
             node_target = heterogeneous_targets[group.master.op]
-        master_time = estimate_node_time(group.master, node_target,
-                                         tuning_db=tuning_db, fused=False)
+        master = kernel_time(group.master, node_target,
+                             tuning_db=tuning_db, fused=False)
         fused_time = sum(
-            estimate_node_time(node, node_target, tuning_db=tuning_db, fused=True)
+            kernel_time(node, node_target, tuning_db=tuning_db, fused=True).time
             for node in group.nodes if node is not group.master)
-        total = master_time + fused_time + framework_overhead(node_target)
-        kernels.append(CompiledKernel(group, total, node_target.name))
+        total = master.time + fused_time + framework_overhead(node_target)
+        kernels.append(CompiledKernel(group, total, node_target.name,
+                                      tuned=master.tuned))
     return kernels
+
+
+def _resolve_tuning_db(ctx: PassContext,
+                       tuning_db: Optional[TuningDatabase]):
+    """The tuning history this compilation consults, in precedence order:
+    explicit (deprecated) kwarg, ``PassContext.config["tuning_db"]``, then
+    the innermost active :class:`ApplyHistoryBest` context."""
+    if tuning_db is not None:
+        warnings.warn(
+            "repro.compile(tuning_db=...) is deprecated; compile inside "
+            "`with report.apply_history_best():` (or an "
+            "autotvm.ApplyHistoryBest context) instead",
+            DeprecationWarning, stacklevel=3)
+        return tuning_db
+    from_ctx = ctx.config.get("tuning_db")
+    if from_ctx is not None:
+        return from_ctx
+    return ApplyHistoryBest.current()
 
 
 def _unplanned_memory(graph: Graph, dtype_bytes: int = 4) -> MemoryPlan:
@@ -149,7 +170,10 @@ def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
         Shortcut overriding the active :class:`PassContext`'s level; prefer
         configuring a ``PassContext`` for anything beyond that.
     tuning_db:
-        Autotuning history consulted by the operator-level compiler.
+        Deprecated alias.  The operator-level compiler now picks up tuning
+        history automatically from ``PassContext.config["tuning_db"]`` or an
+        active :class:`~repro.autotvm.apply_history.ApplyHistoryBest` context
+        (``with report.apply_history_best(): repro.compile(...)``).
     heterogeneous_targets:
         Optional operator-name -> target mapping (the CPU+FPGA offloading
         experiment of Figure 21).
@@ -176,7 +200,11 @@ def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
 
     if state.memory_plan is None:
         state.memory_plan = _unplanned_memory(state.graph)
-    kernels = _generate_kernels(state, tuning_db, het_targets)
+    kernels = _generate_kernels(state, _resolve_tuning_db(ctx, tuning_db),
+                                het_targets)
+    for instrument in ctx.instruments:
+        for kernel in kernels:
+            instrument.observe_kernel(kernel)
 
     return CompiledModule(
         graph=state.graph,

@@ -64,6 +64,10 @@ class PassInstrument:
                        seconds: float) -> None:
         """Called after a pass executed; ``seconds`` is its wall time."""
 
+    def observe_kernel(self, kernel) -> None:
+        """Called for every generated :class:`CompiledKernel` — including
+        whether its schedule came from the tuning history (``kernel.tuned``)."""
+
 
 class TimingInstrument(PassInstrument):
     """Records per-pass wall time and node/param counts."""

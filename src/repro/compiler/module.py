@@ -42,6 +42,8 @@ class CompiledKernel:
     group: "FusedGroup"
     time_seconds: float
     device: str
+    #: the master operator's schedule came from the tuning history
+    tuned: bool = False
 
     @property
     def name(self) -> str:
@@ -78,6 +80,11 @@ class CompiledModule:
     @property
     def total_time(self) -> float:
         return sum(k.time_seconds for k in self.kernels)
+
+    @property
+    def tuned_kernels(self) -> int:
+        """How many kernels used a configuration from the tuning history."""
+        return sum(1 for k in self.kernels if getattr(k, "tuned", False))
 
     def time_by_operator(self) -> Dict[str, float]:
         """Aggregate estimated time per operator type (for breakdowns)."""

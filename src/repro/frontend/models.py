@@ -12,7 +12,7 @@ Every constructor returns ``(graph, params, input_shapes)``.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
@@ -159,9 +159,26 @@ MODEL_REGISTRY = {
 }
 
 
+def _canonical(name: str) -> str:
+    """Registry lookup key: case/separator-insensitive (``resnet18`` ==
+    ``resnet-18`` == ``ResNet_18``)."""
+    return name.lower().replace("-", "").replace("_", "")
+
+
 def get_model(name: str, **kwargs) -> ModelResult:
     """Construct a model from the registry by name."""
-    key = name.lower()
-    if key not in MODEL_REGISTRY:
+    # Built per call so runtime MODEL_REGISTRY additions are seen; the
+    # registry is a handful of entries, so this costs nothing next to the
+    # model build itself.
+    by_canonical: Dict[str, Callable] = {}
+    for key, builder in MODEL_REGISTRY.items():
+        canonical = _canonical(key)
+        if canonical in by_canonical:
+            raise ValueError(
+                f"Model registry keys collide under canonicalisation: "
+                f"{key!r} vs an earlier entry (both -> {canonical!r})")
+        by_canonical[canonical] = builder
+    builder = by_canonical.get(_canonical(name))
+    if builder is None:
         raise KeyError(f"Unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
-    return MODEL_REGISTRY[key](**kwargs)
+    return builder(**kwargs)

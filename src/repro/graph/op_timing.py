@@ -13,6 +13,7 @@ Results are memoised per (workload, target) since networks reuse layer shapes.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -30,14 +31,31 @@ from ..topi.schedules import vdla as vdla_sched
 from .ir import Node
 from .ops import OP_REGISTRY
 
-__all__ = ["workload_key", "estimate_node_time", "make_task_for_node",
-           "fallback_search", "clear_timing_cache", "KERNEL_TIME_CACHE"]
+__all__ = ["workload_key", "estimate_node_time", "kernel_time", "TimeEstimate",
+           "make_task_for_node", "task_name_for_node", "fallback_search",
+           "fallback_config_for_node", "clear_timing_cache", "KERNEL_TIME_CACHE"]
 
-KERNEL_TIME_CACHE: Dict[Tuple, float] = {}
+KERNEL_TIME_CACHE: Dict[Tuple, "TimeEstimate"] = {}
+
+#: memoised (best_time, best_config_index) of the fallback heuristic
+_FALLBACK_CACHE: Dict[Tuple, Tuple[float, int]] = {}
 
 
 def clear_timing_cache() -> None:
+    from ..autotvm.tuner import ModelBasedTuner
+
     KERNEL_TIME_CACHE.clear()
+    _FALLBACK_CACHE.clear()
+    ModelBasedTuner.clear_shared_features()
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """A kernel-latency estimate and how it was obtained."""
+
+    time: float
+    tuned: bool = False                 #: came from a tuning-history entry
+    config_index: Optional[int] = None  #: config used (tuned path only)
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -100,8 +118,8 @@ def _dense_template(target: Target):
     return template
 
 
-def make_task_for_node(node: Node, target: Target) -> Optional[Task]:
-    """Create an autotvm task for a heavy operator node, or None."""
+def _task_signature(node: Node) -> Optional[Tuple[str, Tuple]]:
+    """``(template kind, workload args)`` of a heavy operator node, or None."""
     dtype = node.dtype or "float32"
     if node.op == "conv2d_transpose":
         # A strided transposed convolution is compiled as the equivalent
@@ -112,28 +130,50 @@ def make_task_for_node(node: Node, target: Target) -> Optional[Task]:
         ph, _pw = _pair(node.attrs.get("padding", 0))
         dil_h = h + (h - 1) * (sh - 1)
         dil_w = w + (w - 1) * (sh - 1)
-        args = (n, ci, dil_h, dil_w, co, kh, kw, 1, kh - 1 - ph, dtype)
-        return Task(f"conv2d_{args}", _conv2d_template(target), args, target)
+        return "conv2d", (n, ci, dil_h, dil_w, co, kh, kw, 1, kh - 1 - ph, dtype)
     if node.op == "conv2d":
         (n, ci, h, w) = node.inputs[0].shape
         (co, _ci, kh, kw) = node.inputs[1].shape
         sh, _sw = _pair(node.attrs.get("strides", 1))
         ph, _pw = _pair(node.attrs.get("padding", 0))
-        args = (n, ci, h, w, co, kh, kw, sh, ph, dtype)
-        return Task(f"conv2d_{args}", _conv2d_template(target), args, target)
+        return "conv2d", (n, ci, h, w, co, kh, kw, sh, ph, dtype)
     if node.op == "depthwise_conv2d":
         (n, c, h, w) = node.inputs[0].shape
         (_c, _m, kh, kw) = node.inputs[1].shape
         sh, _sw = _pair(node.attrs.get("strides", 1))
         ph, _pw = _pair(node.attrs.get("padding", 0))
-        args = (n, c, h, w, kh, kw, sh, ph, dtype)
-        return Task(f"depthwise_{args}", _depthwise_template(target), args, target)
+        return "depthwise", (n, c, h, w, kh, kw, sh, ph, dtype)
     if node.op == "dense":
         (batch, in_dim) = node.inputs[0].shape
         (out_dim, _in) = node.inputs[1].shape
-        args = (batch, in_dim, out_dim, dtype)
-        return Task(f"dense_{args}", _dense_template(target), args, target)
+        return "dense", (batch, in_dim, out_dim, dtype)
     return None
+
+
+_TEMPLATE_FACTORIES = {
+    "conv2d": _conv2d_template,
+    "depthwise": _depthwise_template,
+    "dense": _dense_template,
+}
+
+
+def task_name_for_node(node: Node) -> Optional[str]:
+    """The tuning-task / database name of a heavy operator node, without
+    paying for task construction (used for history lookups)."""
+    signature = _task_signature(node)
+    if signature is None:
+        return None
+    kind, args = signature
+    return f"{kind}_{args}"
+
+
+def make_task_for_node(node: Node, target: Target) -> Optional[Task]:
+    """Create an autotvm task for a heavy operator node, or None."""
+    signature = _task_signature(node)
+    if signature is None:
+        return None
+    kind, args = signature
+    return Task(f"{kind}_{args}", _TEMPLATE_FACTORIES[kind](target), args, target)
 
 
 # ---------------------------------------------------------------------------
@@ -175,17 +215,50 @@ def _vdla_conv_time(node: Node, target: Target, latency_hiding: bool = True) -> 
     return model.estimate_func(func, latency_hiding=latency_hiding)
 
 
+#: operators tuned through schedule templates (everything else is estimated
+#: from memory traffic)
+_TEMPLATED_OPS = ("conv2d", "depthwise_conv2d", "dense", "conv2d_transpose")
+
+
 def estimate_node_time(node: Node, target: Target,
                        tuning_db: Optional[TuningDatabase] = None,
                        fused: bool = False,
                        n_fallback_configs: int = 48) -> float:
     """Estimated kernel latency of one operator node on ``target``.
 
+    Thin wrapper over :func:`kernel_time` for callers that only need the
+    number.
+    """
+    return kernel_time(node, target, tuning_db=tuning_db, fused=fused,
+                       n_fallback_configs=n_fallback_configs).time
+
+
+def kernel_time(node: Node, target: Target,
+                tuning_db: Optional[TuningDatabase] = None,
+                fused: bool = False,
+                n_fallback_configs: int = 48) -> TimeEstimate:
+    """Kernel latency of one operator node, with provenance.
+
     ``fused=True`` means the node executes inside a fused kernel anchored by
     another operator, so it contributes no extra kernel launch and its global
     memory round-trip is elided (only its arithmetic is counted).
+
+    ``tuning_db`` may be a :class:`TuningDatabase` or any object with its
+    ``best(task_name, target_name)`` interface (e.g.
+    :class:`~repro.autotvm.apply_history.ApplyHistoryBest`, which counts the
+    lookups).  The history lookup happens before the memoisation check and
+    the hit extends the cache key, so tuned and untuned estimates of the
+    same workload never collide in the cache.
     """
-    key = workload_key(node, target) + (fused,)
+    base_key = workload_key(node, target) + (fused,)
+
+    entry = None
+    if tuning_db is not None and node.op in _TEMPLATED_OPS \
+            and not (target.device_type == "vdla" and node.op == "conv2d"):
+        task_name = task_name_for_node(node)
+        if task_name is not None:
+            entry = tuning_db.best(task_name, target.name)
+    key = base_key if entry is None else base_key + ("tuned", entry.config_index)
     if key in KERNEL_TIME_CACHE:
         return KERNEL_TIME_CACHE[key]
 
@@ -193,47 +266,65 @@ def estimate_node_time(node: Node, target: Target,
     if fused and spec.pattern == "injective":
         flops = spec.flops([tuple(p.shape) for p in node.inputs], tuple(node.shape),
                            node.attrs)
-        time = flops / target.model.params.peak_flops * 2.0
-        KERNEL_TIME_CACHE[key] = time
-        return time
+        estimate = TimeEstimate(flops / target.model.params.peak_flops * 2.0)
+        KERNEL_TIME_CACHE[key] = estimate
+        return estimate
 
     if target.device_type == "vdla" and node.op in ("conv2d",):
-        time = _vdla_conv_time(node, target)
-        KERNEL_TIME_CACHE[key] = time
-        return time
+        estimate = TimeEstimate(_vdla_conv_time(node, target))
+        KERNEL_TIME_CACHE[key] = estimate
+        return estimate
 
-    task = make_task_for_node(node, target) \
-        if node.op in ("conv2d", "depthwise_conv2d", "dense", "conv2d_transpose") \
-        else None
-    if task is None:
-        time = _memory_bound_time(node, target, fused=fused)
-        KERNEL_TIME_CACHE[key] = time
-        return time
+    if node.op not in _TEMPLATED_OPS:
+        estimate = TimeEstimate(_memory_bound_time(node, target, fused=fused))
+        KERNEL_TIME_CACHE[key] = estimate
+        return estimate
 
     # Pick the configuration: tuned if available, otherwise run the compiler's
     # fallback heuristic (a short model-guided local search over the space).
-    config = None
-    if tuning_db is not None:
-        entry = tuning_db.best(task.name, target.name)
-        if entry is not None:
-            config = task.config_space.get(entry.config_index)
-    if config is not None:
+    if entry is not None:
+        task = make_task_for_node(node, target)
         try:
-            func = task.lower(config)
+            func = task.lower(task.config_space.get(entry.config_index))
             best_time = target.model.estimate(tir.extract_features(func))
         except Exception:
             best_time = float("inf")
+        tuned, config_index = True, entry.config_index
     else:
-        import zlib
-
-        seed = zlib.crc32(repr(key).encode())
-        best_time, _best_index = fallback_search(
-            task, target, n_random=max(n_fallback_configs // 2, 8),
-            climb_rounds=2, seed=seed)
+        best_time, config_index = fallback_config_for_node(
+            node, target, fused=fused, n_fallback_configs=n_fallback_configs)
+        tuned = False
     if not math.isfinite(best_time):
         best_time = _memory_bound_time(node, target, fused=fused)
-    KERNEL_TIME_CACHE[key] = best_time
-    return best_time
+        tuned, config_index = False, None
+    estimate = TimeEstimate(best_time, tuned=tuned, config_index=config_index)
+    KERNEL_TIME_CACHE[key] = estimate
+    return estimate
+
+
+def fallback_config_for_node(node: Node, target: Target, fused: bool = False,
+                             n_fallback_configs: int = 48) -> Tuple[float, int]:
+    """``(best_time, best_config_index)`` of the compiler's untuned fallback
+    heuristic for a heavy operator node (memoised, deterministic).
+
+    This is exactly what an untuned build uses for the node, which is what
+    lets the tuning session guarantee its recorded configs never regress a
+    compilation (see ``TuningOptions.ensure_no_regression``).
+    """
+    import zlib
+
+    key = workload_key(node, target) + (fused,)
+    if key in _FALLBACK_CACHE:
+        return _FALLBACK_CACHE[key]
+    task = make_task_for_node(node, target)
+    if task is None:
+        raise ValueError(f"Node {node.name!r} ({node.op}) has no schedule template")
+    seed = zlib.crc32(repr(key).encode())
+    result = fallback_search(task, target,
+                             n_random=max(n_fallback_configs // 2, 8),
+                             climb_rounds=2, seed=seed)
+    _FALLBACK_CACHE[key] = result
+    return result
 
 
 def fallback_search(task: Task, target: Target, n_random: int = 24,

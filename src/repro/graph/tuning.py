@@ -1,64 +1,78 @@
-"""Whole-graph autotuning helper.
+"""Legacy whole-graph autotuning helpers (deprecated shims).
 
-Extracts the unique heavy-operator workloads from a graph, tunes each with
-the ML-based explorer (or another tuner), and records the best configuration
-per workload in a :class:`~repro.autotvm.database.TuningDatabase` that
-``graph.build`` consumes.  This is the "extract tasks → tune → compile with
-history" flow TVM users follow and the one the end-to-end figures rely on.
+The loose ``extract_tasks`` / ``tune_tasks`` / ``tune_graph`` functions of
+early revisions have been replaced by the unified tuning session in
+:mod:`repro.autotvm.session`: :func:`repro.autotune` accepts the same model
+forms as :func:`repro.compile`, tunes every heavy workload with a registered
+tuner over the parallel measurer, and returns a
+:class:`~repro.autotvm.session.TuningReport` whose database feeds
+history-based compilation through ``report.apply_history_best()``.
+
+``tune_graph`` / ``tune_tasks`` remain for backward compatibility: they
+delegate to the session and return the legacy :class:`TuningDatabase`,
+emitting a :class:`DeprecationWarning`.  ``extract_tasks`` forwards to the
+session implementation without a warning; note that unlike the original it
+also extracts ``conv2d_transpose`` workloads (as their equivalent unit-stride
+convolutions) and skips vdla convolutions, matching exactly the set of tasks
+history-based compilation will look up.
 """
 
 from __future__ import annotations
 
+import logging
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..autotvm.database import TuningDatabase
-from ..autotvm.measure import LocalMeasurer
+from ..autotvm.options import TuningOptions
+from ..autotvm.session import extract_tasks as _extract_tasks
+from ..autotvm.session import tune_tasks as _tune_tasks
 from ..autotvm.task import Task
-from ..autotvm.tuner import GATuner, ModelBasedTuner, RandomTuner
 from ..hardware.target import Target
 from .ir import Graph
-from .op_timing import make_task_for_node, workload_key
 
 __all__ = ["extract_tasks", "tune_graph", "tune_tasks"]
-
-_TUNERS = {
-    "model": ModelBasedTuner,
-    "random": RandomTuner,
-    "ga": GATuner,
-}
 
 
 def extract_tasks(graph: Graph, target: Target,
                   input_shapes: Optional[Dict[str, Tuple[int, ...]]] = None
                   ) -> List[Task]:
     """Unique tuning tasks for the heavy operators of a graph."""
-    if input_shapes is not None:
-        graph.infer_shapes(input_shapes)
-    tasks: Dict[str, Task] = {}
-    for node in graph.op_nodes:
-        if node.op not in ("conv2d", "depthwise_conv2d", "dense"):
-            continue
-        task = make_task_for_node(node, target)
-        if task is not None and task.name not in tasks:
-            tasks[task.name] = task
-    return list(tasks.values())
+    return _extract_tasks(graph, target, input_shapes=input_shapes)
+
+
+def _legacy_options(n_trial: int, tuner: str, seed: int,
+                    verbose: bool) -> TuningOptions:
+    # Match the legacy helpers' measurement settings: serial, number=2, no
+    # fallback-floor validation, no warm start.  (Recorded mean_time values
+    # are now the deterministic model estimate of the best config rather
+    # than its noisy measured time — the database only uses them to rank.)
+    if verbose:
+        # The old helpers printed progress; route the equivalent through the
+        # repro.autotvm logger without clobbering an existing setup.
+        logger = logging.getLogger("repro.autotvm")
+        if logger.level in (logging.NOTSET, logging.WARNING) \
+                or logger.level > logging.INFO:
+            logger.setLevel(logging.INFO)
+        if not logger.handlers and not logging.getLogger().handlers:
+            logger.addHandler(logging.StreamHandler())
+    return TuningOptions(trials=n_trial, tuner=tuner, seed=seed, batch_size=8,
+                         measure_number=2, n_parallel=1, warm_start=False,
+                         ensure_no_regression=False)
 
 
 def tune_tasks(tasks: List[Task], n_trial: int = 48, tuner: str = "model",
                database: Optional[TuningDatabase] = None,
                seed: int = 0, verbose: bool = False) -> TuningDatabase:
-    """Tune each task and record the best configuration."""
-    database = database or TuningDatabase()
-    tuner_cls = _TUNERS[tuner]
-    for index, task in enumerate(tasks):
-        instance = tuner_cls(task, seed=seed + index)
-        measurer = LocalMeasurer(number=2, seed=seed + index)
-        best = instance.tune(n_trial=n_trial, measurer=measurer, batch_size=8)
-        database.record(task, best, instance.best_time)
-        if verbose:
-            print(f"[tune] {task.name}: best {instance.best_time * 1e6:.1f} us "
-                  f"({len(task.config_space)} configs, {n_trial} trials)")
-    return database
+    """Deprecated: use :func:`repro.autotune` (or
+    :func:`repro.autotvm.tune_tasks`, which returns the full report)."""
+    warnings.warn(
+        "repro.graph.tune_tasks() is deprecated; use repro.autotune(model, "
+        "target=..., trials=...) which returns a TuningReport",
+        DeprecationWarning, stacklevel=2)
+    report = _tune_tasks(tasks, options=_legacy_options(n_trial, tuner, seed, verbose),
+                         database=database)
+    return report.database
 
 
 def tune_graph(graph: Graph, target: Target,
@@ -66,7 +80,12 @@ def tune_graph(graph: Graph, target: Target,
                n_trial: int = 48, tuner: str = "model",
                database: Optional[TuningDatabase] = None,
                seed: int = 0, verbose: bool = False) -> TuningDatabase:
-    """Extract and tune every heavy workload in ``graph`` for ``target``."""
-    tasks = extract_tasks(graph, target, input_shapes)
-    return tune_tasks(tasks, n_trial=n_trial, tuner=tuner, database=database,
-                      seed=seed, verbose=verbose)
+    """Deprecated: use :func:`repro.autotune` instead."""
+    warnings.warn(
+        "repro.graph.tune_graph() is deprecated; use repro.autotune(model, "
+        "target=..., trials=...) which returns a TuningReport",
+        DeprecationWarning, stacklevel=2)
+    tasks = _extract_tasks(graph, target, input_shapes=input_shapes)
+    report = _tune_tasks(tasks, options=_legacy_options(n_trial, tuner, seed, verbose),
+                         database=database)
+    return report.database

@@ -1,0 +1,615 @@
+"""Tests for the unified tuning session: ``repro.autotune``, the tuner
+registry, ``TuningOptions``, the parallel measurer, ``ApplyHistoryBest``
+history-based compilation, the deprecation shims, and the tuning database
+dedupe/persistence behaviour."""
+
+import logging
+import math
+import time
+import types
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import autotvm
+from repro.autotvm import (
+    ApplyHistoryBest,
+    GATuner,
+    LocalMeasurer,
+    ModelBasedTuner,
+    ParallelMeasurer,
+    ProgressEvent,
+    RandomTuner,
+    RPCMeasurer,
+    TuningDatabase,
+    TuningOptions,
+    TuningReport,
+    get_tuner,
+    list_tuners,
+    register_tuner,
+)
+from repro.autotvm.registry import TUNER_REGISTRY
+from repro.compiler import PassContext, PassInstrument
+from repro.graph.ir import Graph, Node
+from repro.graph.ops import OP_REGISTRY
+from repro.hardware import arm_cpu, cuda
+from repro.runtime.rpc import RPCServer, Tracker
+
+
+def conv_graph(ci=16, hw=16, co=16, kernel=3, stride=1, padding=1):
+    """A small one-convolution graph (cheap to tune)."""
+    data = Node("null", "data")
+    data.shape = (1, ci, hw, hw)
+    data.dtype = "float32"
+    weight = Node("null", "weight")
+    weight.shape = (co, ci, kernel, kernel)
+    weight.dtype = "float32"
+    conv = Node("conv2d", "conv", [data, weight],
+                {"strides": stride, "padding": padding})
+    conv.dtype = "float32"
+    conv.shape = OP_REGISTRY["conv2d"].infer_shape(
+        [data.shape, weight.shape], conv.attrs)
+    return Graph([conv])
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    task, = autotvm.extract_tasks(conv_graph(), cuda())
+    return task
+
+
+# ---------------------------------------------------------------------------
+# Tuner registry
+# ---------------------------------------------------------------------------
+
+class TestTunerRegistry:
+    def test_builtin_tuners_registered(self):
+        assert {"random", "grid", "ga", "model"} <= set(list_tuners())
+        assert get_tuner("model") is ModelBasedTuner
+        assert get_tuner("random") is RandomTuner
+
+    def test_unknown_tuner_fails_loudly(self):
+        with pytest.raises(ValueError, match="registered tuners"):
+            get_tuner("modle")          # typo
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_tuner("random", RandomTuner)
+
+    def test_register_and_override(self):
+        class MyTuner(RandomTuner):
+            pass
+
+        register_tuner("_test_tuner", MyTuner)
+        try:
+            assert get_tuner("_test_tuner") is MyTuner
+            register_tuner("_test_tuner", RandomTuner, override=True)
+            assert get_tuner("_test_tuner") is RandomTuner
+        finally:
+            TUNER_REGISTRY.pop("_test_tuner", None)
+
+    def test_autotune_validates_tuner_before_work(self, small_task):
+        with pytest.raises(ValueError, match="registered tuners"):
+            autotvm.tune_tasks([small_task], tuner="nope")
+
+
+# ---------------------------------------------------------------------------
+# TuningOptions
+# ---------------------------------------------------------------------------
+
+class TestTuningOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuningOptions(trials=0)
+        with pytest.raises(ValueError):
+            TuningOptions(batch_size=-1)
+        with pytest.raises(ValueError):
+            TuningOptions(early_stopping=0)
+        with pytest.raises(ValueError):
+            TuningOptions(n_parallel=0)
+
+    def test_overridden_ignores_none(self):
+        opts = TuningOptions(trials=32, tuner="ga")
+        same = opts.overridden(trials=None, tuner=None)
+        assert same.trials == 32 and same.tuner == "ga"
+        changed = opts.overridden(trials=8)
+        assert changed.trials == 8 and changed.tuner == "ga"
+        assert opts.trials == 32                    # original untouched
+
+
+# ---------------------------------------------------------------------------
+# The round trip: autotune -> ApplyHistoryBest -> compile
+# ---------------------------------------------------------------------------
+
+class KernelObserver(PassInstrument):
+    """Instrument recording which generated kernels used tuned configs."""
+
+    name = "kernel-observer"
+
+    def __init__(self):
+        self.kernels = []
+
+    def observe_kernel(self, kernel):
+        self.kernels.append(kernel)
+
+    @property
+    def tuned(self):
+        return [k for k in self.kernels if k.tuned]
+
+
+class TestAutotuneRoundTrip:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return repro.autotune(conv_graph(), target="cuda", trials=16,
+                              options=TuningOptions(seed=0, batch_size=8))
+
+    def test_report_structure(self, report):
+        assert isinstance(report, TuningReport)
+        assert len(report) == 1
+        result = report.results[0]
+        assert result.task_name.startswith("conv2d_")
+        assert result.trials == 16
+        assert len(result.curve) == 16
+        # fig12-ready: best-so-far curve is non-increasing
+        assert all(b <= a for a, b in zip(result.curve, result.curve[1:]))
+        assert math.isfinite(result.estimate)
+        assert result.elapsed > 0 and report.elapsed >= result.elapsed
+        assert len(report.database) == 1
+        assert "conv2d" in report.summary()
+
+    def test_history_best_compile_uses_tuned_configs(self, report):
+        graph = conv_graph()
+        untuned = repro.compile(graph, target="cuda")
+        assert untuned.tuned_kernels == 0
+
+        observer = KernelObserver()
+        with report.apply_history_best() as history:
+            with PassContext(instruments=[observer]):
+                tuned = repro.compile(conv_graph(), target="cuda")
+        assert history.hits >= 1
+        assert len(observer.tuned) == 1             # the conv kernel
+        assert tuned.tuned_kernels == 1
+        assert tuned.total_time <= untuned.total_time
+
+    def test_pass_context_config_integration(self, report):
+        with PassContext(config={"tuning_db": report.database}):
+            tuned = repro.compile(conv_graph(), target="cuda")
+        assert tuned.tuned_kernels == 1
+
+    def test_tuning_db_kwarg_is_deprecated_alias(self, report):
+        with pytest.warns(DeprecationWarning, match="tuning_db"):
+            module = repro.compile(conv_graph(), target="cuda",
+                                   tuning_db=report.database)
+        assert module.tuned_kernels == 1
+
+    def test_apply_history_best_nesting_and_current(self, report):
+        assert ApplyHistoryBest.current() is None
+        outer = ApplyHistoryBest(report.database)
+        inner = ApplyHistoryBest(TuningDatabase())
+        with outer:
+            assert ApplyHistoryBest.current() is outer
+            with inner:
+                assert ApplyHistoryBest.current() is inner
+            assert ApplyHistoryBest.current() is outer
+        assert ApplyHistoryBest.current() is None
+
+    def test_never_regresses_untuned_build(self):
+        # One trial of pure random search cannot beat the fallback heuristic;
+        # the regression floor must kick in so compiling with history is
+        # still no worse than the untuned build.
+        report = repro.autotune(conv_graph(co=32), target="cuda", trials=1,
+                                tuner="random",
+                                options=TuningOptions(seed=3, batch_size=1))
+        untuned = repro.compile(conv_graph(co=32), target="cuda")
+        with report.apply_history_best():
+            tuned = repro.compile(conv_graph(co=32), target="cuda")
+        assert tuned.total_time <= untuned.total_time
+        assert tuned.tuned_kernels == 1
+
+    def test_autotune_rejects_bad_target_and_model(self):
+        with pytest.raises(ValueError, match="Unknown target"):
+            repro.autotune(conv_graph(), target="cudaa", trials=2)
+        with pytest.raises(KeyError, match="Unknown model"):
+            repro.autotune("resnet-1800", target="cuda", trials=2)
+
+
+class TestProgressAndLogging:
+    def test_progress_callbacks_receive_events(self):
+        events = []
+        repro.autotune(conv_graph(), target="cuda", trials=8,
+                       options=TuningOptions(seed=0, batch_size=4,
+                                             callbacks=[events.append]))
+        assert len(events) == 2                     # two batches of 4
+        assert all(isinstance(e, ProgressEvent) for e in events)
+        assert events[-1].trial == 8
+        assert events[-1].done
+        assert events[0].best_time >= events[-1].best_time
+        assert events[0].task_name.startswith("conv2d_")
+        assert all(len(e.batch_times) == 4 for e in events)
+
+    def test_tuning_logs_to_repro_autotvm_logger(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.autotvm"):
+            repro.autotune(conv_graph(), target="cuda", trials=4,
+                           tuner="random")
+        assert any(r.name == "repro.autotvm" for r in caplog.records)
+        assert any("tuning session" in r.message for r in caplog.records)
+
+    def test_early_stopping_cuts_the_budget(self, small_task):
+        tuner = RandomTuner(small_task, seed=0)
+        tuner.tune(n_trial=64, batch_size=4, early_stopping=8,
+                   measurer=LocalMeasurer(number=1, seed=0))
+        assert len(tuner.records) < 64
+
+    def test_early_stopping_emits_terminal_event(self):
+        events = []
+        repro.autotune(conv_graph(), target="cuda", trials=64, tuner="random",
+                       options=TuningOptions(seed=0, batch_size=4,
+                                             early_stopping=4,
+                                             ensure_no_regression=False,
+                                             callbacks=[events.append]))
+        assert events[-1].done
+        assert events[-1].trial < 64
+
+
+# ---------------------------------------------------------------------------
+# Deprecated graph-level shims
+# ---------------------------------------------------------------------------
+
+class TestDeprecatedShims:
+    def test_tune_graph_warns_and_still_works(self):
+        from repro.graph import tune_graph
+
+        with pytest.warns(DeprecationWarning, match="tune_graph"):
+            db = tune_graph(conv_graph(), cuda(), {}, n_trial=4, tuner="random")
+        assert len(db) == 1
+
+    def test_tune_tasks_warns_and_still_works(self, small_task):
+        from repro.graph import tune_tasks
+
+        with pytest.warns(DeprecationWarning, match="tune_tasks"):
+            db = tune_tasks([small_task], n_trial=4, tuner="random")
+        assert db.best(small_task.name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Parallel measurement
+# ---------------------------------------------------------------------------
+
+class TestParallelMeasurer:
+    def test_bit_identical_to_serial_path(self, small_task):
+        inputs = [autotvm.MeasureInput(small_task, cfg)
+                  for cfg in small_task.config_space.sample(16)]
+        serial = LocalMeasurer(number=3, seed=11).measure(inputs)
+        for workers in (1, 2, 8):
+            parallel = ParallelMeasurer(n_parallel=workers, number=3,
+                                        seed=11).measure(inputs)
+            assert [r.mean_time for r in parallel] == \
+                [r.mean_time for r in serial]
+
+    def test_parallel_tuning_matches_serial_tuning(self, small_task):
+        def run(measurer):
+            tuner = RandomTuner(small_task, seed=4)
+            tuner.tune(n_trial=16, batch_size=8, measurer=measurer)
+            return [(r.config_index, r.mean_time) for r in tuner.records]
+
+        assert run(LocalMeasurer(number=2, seed=4)) == \
+            run(ParallelMeasurer(n_parallel=6, number=2, seed=4))
+
+    def test_build_errors_become_invalid_records(self, small_task):
+        broken = autotvm.MeasureInput(small_task,
+                                      small_task.config_space.get(0))
+        broken.task = types.SimpleNamespace(
+            name=small_task.name, target=small_task.target,
+            lower=lambda cfg: (_ for _ in ()).throw(RuntimeError("boom")))
+        good = autotvm.MeasureInput(small_task, small_task.config_space.get(1))
+        records = ParallelMeasurer(n_parallel=4, number=1).measure(
+            [broken, good])
+        assert not records[0].valid and "boom" in records[0].error
+        assert records[1].valid
+
+    def test_counts_measurements(self, small_task):
+        measurer = ParallelMeasurer(n_parallel=4, number=1)
+        inputs = [autotvm.MeasureInput(small_task, cfg)
+                  for cfg in small_task.config_space.sample(5)]
+        measurer.measure(inputs)
+        assert measurer.num_measured == 5
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMeasurer(n_parallel=0)
+
+
+# ---------------------------------------------------------------------------
+# RPC measurement (satellite: previously untested)
+# ---------------------------------------------------------------------------
+
+class TestRPCMeasurer:
+    def _tracker(self, target, count=2):
+        tracker = Tracker()
+        tracker.register_device("gpu", target.model, count=count)
+        return tracker
+
+    def test_round_trip_through_tracker(self, small_task):
+        target = small_task.target
+        tracker = self._tracker(target)
+        measurer = RPCMeasurer(tracker, "gpu", number=2)
+        inputs = [autotvm.MeasureInput(small_task, cfg)
+                  for cfg in small_task.config_space.sample(4)]
+        records = measurer.measure(inputs)
+        assert len(records) == 4
+        assert all(r.valid and r.mean_time > 0 for r in records)
+        # Every device was released back to the pool.
+        summary = tracker.summary()["gpu"]
+        assert summary["free"] == summary["total"]
+        assert summary["requests"] == 4
+
+    def test_invalid_schedule_yields_invalid_record(self, small_task):
+        tracker = self._tracker(small_task.target)
+        measurer = RPCMeasurer(tracker, "gpu", number=1)
+        broken = autotvm.MeasureInput(small_task, small_task.config_space.get(0))
+        broken.task = types.SimpleNamespace(
+            name=small_task.name, target=small_task.target,
+            lower=lambda cfg: (_ for _ in ()).throw(RuntimeError("bad lower")))
+        record, = measurer.measure([broken])
+        assert not record.valid
+        assert "bad lower" in record.error
+
+    def test_remote_failure_releases_device(self, small_task):
+        class FailingModel:
+            def measure(self, payload, number=3, rng=None):
+                raise RuntimeError("device on fire")
+
+        tracker = Tracker()
+        tracker.register(RPCServer("gpu", FailingModel()))
+        measurer = RPCMeasurer(tracker, "gpu", number=1)
+        inp = autotvm.MeasureInput(small_task, small_task.config_space.get(0))
+        record, = measurer.measure([inp])
+        assert not record.valid and "device on fire" in record.error
+        # the lease must be returned even on failure
+        assert tracker.summary()["gpu"]["free"] == 1
+
+    def test_unknown_device_key_fails_loudly(self, small_task):
+        tracker = self._tracker(small_task.target)
+        measurer = RPCMeasurer(tracker, "tpu", number=1)
+        inp = autotvm.MeasureInput(small_task, small_task.config_space.get(0))
+        with pytest.raises(KeyError, match="No devices registered"):
+            measurer.measure([inp])
+
+
+# ---------------------------------------------------------------------------
+# Determinism across seeds (satellite: previously untested)
+# ---------------------------------------------------------------------------
+
+class TestTunerDeterminism:
+    @pytest.mark.parametrize("tuner_cls", [RandomTuner, GATuner, ModelBasedTuner])
+    def test_same_seed_same_trajectory(self, small_task, tuner_cls):
+        def run(seed):
+            tuner = tuner_cls(small_task, seed=seed)
+            tuner.tune(n_trial=20, batch_size=5,
+                       measurer=LocalMeasurer(number=2, seed=seed))
+            return [(r.config_index, r.mean_time) for r in tuner.records]
+
+        assert run(7) == run(7)
+
+    def test_different_seed_different_trajectory(self, small_task):
+        def run(seed):
+            tuner = RandomTuner(small_task, seed=seed)
+            tuner.tune(n_trial=12, batch_size=4,
+                       measurer=LocalMeasurer(number=1, seed=seed))
+            return [r.config_index for r in tuner.records]
+
+        assert run(1) != run(2)
+
+
+# ---------------------------------------------------------------------------
+# _random_unvisited scaling (satellite: quadratic membership probing fix)
+# ---------------------------------------------------------------------------
+
+class TestRandomUnvisitedScaling:
+    def _big_space_tuner(self, knobs=4, per_knob=12):
+        space = autotvm.ConfigSpace()
+        for i in range(knobs):
+            space.define_knob(f"k{i}", list(range(per_knob)))
+        task = types.SimpleNamespace(config_space=space, name="big",
+                                     operator="big")
+        return RandomTuner(task, seed=0), len(space)
+
+    def test_large_batch_is_unique_and_fast(self):
+        tuner, total = self._big_space_tuner()   # 12^4 = 20736 configs
+        start = time.perf_counter()
+        batch = tuner.next_batch(4096)
+        elapsed = time.perf_counter() - start
+        indices = [c.index for c in batch]
+        assert len(indices) == 4096
+        assert len(set(indices)) == 4096
+        assert all(0 <= i < total for i in indices)
+        # The old quadratic membership probe took seconds here; the set-based
+        # bookkeeping finishes in well under a second even on slow CI.
+        assert elapsed < 2.0
+
+    def test_exhausts_space_without_duplicates(self):
+        tuner, total = self._big_space_tuner(knobs=2, per_knob=8)  # 64 configs
+        seen = set()
+        while True:
+            batch = tuner.next_batch(16)
+            if not batch:
+                break
+            for cfg in batch:
+                assert cfg.index not in seen
+                seen.add(cfg.index)
+                tuner._visited.add(cfg.index)
+        assert len(seen) == total
+
+
+# ---------------------------------------------------------------------------
+# Tuning database: dedupe, path binding, compaction, features
+# ---------------------------------------------------------------------------
+
+class TestTuningDatabase:
+    def test_load_binds_path(self, tmp_path, small_task):
+        path = str(tmp_path / "log.jsonl")
+        TuningDatabase(path).record(small_task, small_task.config_space.get(1),
+                                    1e-3)
+        db = TuningDatabase()
+        db.load(path)
+        assert db.path == path
+        # adds after load() persist to the same file
+        db.record(small_task, small_task.config_space.get(2), 2e-3)
+        assert len(TuningDatabase(path)) == 2
+
+    def test_duplicate_add_keeps_best_time(self, small_task):
+        db = TuningDatabase()
+        cfg = small_task.config_space.get(3)
+        db.record(small_task, cfg, 2e-3)
+        db.record(small_task, cfg, 1e-3)           # better: replaces
+        db.record(small_task, cfg, 5e-3)           # worse: ignored
+        assert len(db) == 1
+        assert db.best(small_task.name).mean_time == 1e-3
+
+    def test_append_reload_cycles_do_not_bloat(self, tmp_path, small_task):
+        path = str(tmp_path / "log.jsonl")
+        cfg = small_task.config_space.get(4)
+        for _ in range(5):
+            db = TuningDatabase(path)
+            db.record(small_task, cfg, 1.5e-3)     # same entry every cycle
+        final = TuningDatabase(path)
+        assert len(final) == 1
+        # Only the first cycle wrote a line: later identical records are
+        # recognised as duplicates against the loaded (deduped) state.
+        with open(path) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_compact_rewrites_log(self, tmp_path, small_task):
+        path = str(tmp_path / "log.jsonl")
+        cfg = small_task.config_space.get(0)
+        db = TuningDatabase(path)
+        for t in (3e-3, 2e-3, 1e-3):               # two improvements append
+            db.record(small_task, cfg, t)
+        with open(path) as handle:
+            assert len(handle.readlines()) == 3
+        db.compact()
+        with open(path) as handle:
+            assert len(handle.readlines()) == 1
+        assert TuningDatabase(path).best(small_task.name).mean_time == 1e-3
+
+    def test_features_round_trip(self, tmp_path, small_task):
+        path = str(tmp_path / "log.jsonl")
+        db = TuningDatabase(path)
+        db.record(small_task, small_task.config_space.get(5), 1e-3,
+                  features=[1.0, 2.0, 3.0])
+        entry = TuningDatabase(path).best(small_task.name)
+        assert entry.features == [1.0, 2.0, 3.0]
+        assert entry.operator == "conv2d"
+
+    def test_entries_for_operator(self, small_task):
+        db = TuningDatabase()
+        db.record(small_task, small_task.config_space.get(0), 1e-3)
+        assert len(db.entries_for_operator("conv2d")) == 1
+        assert db.entries_for_operator("dense") == []
+
+
+# ---------------------------------------------------------------------------
+# Transfer learning warm start
+# ---------------------------------------------------------------------------
+
+class TestWarmStart:
+    def test_warm_start_from_same_workload_history(self, small_task):
+        db = TuningDatabase()
+        measurer = LocalMeasurer(number=1, seed=0)
+        for cfg in small_task.config_space.sample(10):
+            record, = measurer.measure([autotvm.MeasureInput(small_task, cfg)])
+            if record.valid:
+                db.record(small_task, cfg, record.mean_time)
+        tuner = ModelBasedTuner(small_task, seed=0)
+        added = tuner.warm_start(db)
+        assert added >= 8
+        assert tuner._trained            # first batch will be model-guided
+
+    def test_warm_start_from_stored_features_of_other_shapes(self, small_task):
+        # Entries from a *different* conv workload transfer through their
+        # stored feature vectors.
+        other_task, = autotvm.extract_tasks(conv_graph(ci=8, hw=8, co=8),
+                                            cuda())
+        assert other_task.name != small_task.name
+        db = TuningDatabase()
+        measurer = LocalMeasurer(number=1, seed=0)
+        for cfg in other_task.config_space.sample(10):
+            record, = measurer.measure([autotvm.MeasureInput(other_task, cfg)])
+            if record.valid:
+                db.record(other_task, cfg, record.mean_time,
+                          features=record.features.to_vector())
+        tuner = ModelBasedTuner(small_task, seed=0)
+        assert tuner.warm_start(db) >= 8
+
+    def test_warm_start_ignores_unrelated_operators(self, small_task):
+        db = TuningDatabase()
+        db.add(autotvm.TuningLogEntry("dense_(1, 64, 64, 'float32')", "cuda",
+                                      0, {}, 1e-3, features=[1.0] * 4))
+        tuner = ModelBasedTuner(small_task, seed=0)
+        assert tuner.warm_start(db) == 0
+
+    def test_session_warm_start_reported(self, small_task):
+        first = autotvm.tune_tasks([small_task], trials=16, tuner="model",
+                                   options=TuningOptions(seed=0))
+        second = autotvm.tune_tasks([small_task], trials=8, tuner="model",
+                                    options=TuningOptions(seed=1),
+                                    database=first.database)
+        assert second.results[0].warm_samples > 0
+
+
+# ---------------------------------------------------------------------------
+# The issue's acceptance round trip, verbatim: a zoo model tuned end to end
+# ---------------------------------------------------------------------------
+
+class TestAcceptanceRoundTripResnet18:
+    @pytest.fixture(scope="class")
+    def session(self):
+        report = repro.autotune("resnet18", target="gpu", trials=16)
+        untuned = repro.compile("resnet18", target="gpu")
+        observer = KernelObserver()
+        with report.apply_history_best() as history:
+            with PassContext(instruments=[observer]):
+                tuned = repro.compile("resnet18", target="gpu")
+        return report, untuned, tuned, history, observer
+
+    def test_tasks_extracted_and_tuned(self, session):
+        report, _untuned, _tuned, _history, _observer = session
+        assert len(report) >= 10                   # resnet18's unique workloads
+        assert all(len(r.curve) == r.trials for r in report)
+        assert len(report.database) == len(report)
+
+    def test_compile_inside_context_uses_tuned_configs(self, session):
+        _report, _untuned, tuned, history, observer = session
+        assert history.hits > 0
+        assert tuned.tuned_kernels > 0
+        assert len(observer.tuned) == tuned.tuned_kernels
+
+    def test_tuned_latency_not_worse_than_untuned(self, session):
+        _report, untuned, tuned, _history, _observer = session
+        assert tuned.total_time <= untuned.total_time
+        assert untuned.tuned_kernels == 0
+
+
+# ---------------------------------------------------------------------------
+# Model-zoo parity with repro.compile inputs
+# ---------------------------------------------------------------------------
+
+class TestModelInputParity:
+    def test_zoo_name_separator_insensitive(self):
+        from repro.frontend.models import get_model
+
+        direct = get_model("resnet-18")
+        relaxed = get_model("resnet18")
+        assert len(direct[0].nodes) == len(relaxed[0].nodes)
+        with pytest.raises(KeyError):
+            get_model("resnet-999")
+
+    def test_extract_tasks_accepts_compile_model_forms(self):
+        graph = conv_graph()
+        from_graph = autotvm.extract_tasks(graph, "cuda")
+        from_tuple = autotvm.extract_tasks((graph, {}), cuda())
+        assert [t.name for t in from_graph] == [t.name for t in from_tuple]
+        zoo = autotvm.extract_tasks("dqn", "cuda")
+        assert len(zoo) >= 1
