@@ -7,6 +7,13 @@ under :class:`ApplyHistoryBest`.
 """
 
 from .apply_history import ApplyHistoryBest
+from .eval_cache import (
+    FEATURE_CACHE,
+    LOWERED_CACHE,
+    clear_eval_caches,
+    configure_eval_caches,
+    eval_cache_stats,
+)
 from .cost_model import (
     GradientBoostedTrees,
     NeuralCostModel,
@@ -42,6 +49,11 @@ __all__ = [
     "ApplyHistoryBest",
     "ConfigEntity",
     "ConfigSpace",
+    "FEATURE_CACHE",
+    "LOWERED_CACHE",
+    "clear_eval_caches",
+    "configure_eval_caches",
+    "eval_cache_stats",
     "GATuner",
     "GradientBoostedTrees",
     "GridSearchTuner",

@@ -9,6 +9,14 @@ Two models are provided, mirroring the paper's design space:
   offline, so the trees and the boosting loop are implemented here.
 * :class:`NeuralCostModel` — a small multi-layer perceptron standing in for
   the TreeRNN alternative the paper evaluates (similar quality, slower).
+
+The explorer scores thousands of candidates per tuning round, so the hot
+paths are vectorized: fitted trees are flattened into numpy node arrays for
+batch prediction, the CART split search runs on sorted cumulative sums, and
+the pairwise rank gradient samples its comparison pairs in bulk.  Each fast
+path has a retained per-row reference implementation (``reference=True`` /
+the ``*_reference`` methods) and produces **bit-identical** results — the
+vectorization must never change which configuration the tuner picks.
 """
 
 from __future__ import annotations
@@ -23,25 +31,46 @@ __all__ = ["RegressionTree", "GradientBoostedTrees", "NeuralCostModel", "rank_co
 
 
 class RegressionTree:
-    """A CART-style regression tree fitted to (features, residuals)."""
+    """A CART-style regression tree fitted to (features, residuals).
+
+    ``fit`` builds the usual nested-dict tree (kept as ``tree_`` for
+    introspection) and flattens it into parallel node arrays; ``predict``
+    advances all query rows level-by-level through those arrays instead of
+    walking the dict per row.  With ``reference=True`` both fitting and
+    prediction use the retained scalar implementations.
+    """
 
     def __init__(self, max_depth: int = 4, min_samples_leaf: int = 2,
-                 max_thresholds: int = 8):
+                 max_thresholds: int = 8, reference: bool = False):
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_thresholds = max_thresholds
+        self.reference = reference
         self.tree_: Optional[dict] = None
+        self._flat: Optional[Tuple[np.ndarray, ...]] = None
+        self._quantile_fractions = np.linspace(0.1, 0.9, max_thresholds)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
         self.tree_ = self._build(x, y, depth=0)
+        self._flat = self._flatten(self.tree_)
         return self
 
     def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> dict:
-        node = {"value": float(np.mean(y)) if len(y) else 0.0}
-        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf \
-                or float(np.var(y)) < 1e-12:
+        # y.sum()/n and the explicit squared-deviation sum reproduce
+        # np.mean/np.var bit-for-bit (same pairwise reduction, same divide)
+        # without their per-call wrapper overhead.
+        n = len(y)
+        mean = y.sum() / n if n else 0.0
+        node = {"value": float(mean) if n else 0.0}
+        if depth >= self.max_depth or n < 2 * self.min_samples_leaf:
             return node
-        best = self._best_split(x, y)
+        deviation = y - mean
+        sq_deviation = deviation * deviation
+        if float(sq_deviation.sum() / n) < 1e-12:
+            return node
+        split = (self._best_split_reference if self.reference
+                 else self._best_split)
+        best = split(x, y)
         if best is None:
             return node
         feature, threshold, mask = best
@@ -53,21 +82,28 @@ class RegressionTree:
         })
         return node
 
-    def _best_split(self, x: np.ndarray, y: np.ndarray):
+    # -- split search -------------------------------------------------------------
+    def _threshold_candidates(self, column: np.ndarray) -> Optional[np.ndarray]:
+        """Candidate thresholds for one feature column (reference form)."""
+        unique = np.unique(column)
+        if len(unique) < 2:
+            return None
+        if len(unique) > self.max_thresholds:
+            return np.quantile(unique,
+                               np.linspace(0.1, 0.9, self.max_thresholds))
+        return (unique[:-1] + unique[1:]) / 2.0
+
+    def _best_split_reference(self, x: np.ndarray, y: np.ndarray):
+        """Retained reference: re-scan the sample set per threshold."""
         n_samples, n_features = x.shape
         base_error = float(np.sum((y - y.mean()) ** 2))
         best_gain = 1e-9
         best = None
         for feature in range(n_features):
             column = x[:, feature]
-            unique = np.unique(column)
-            if len(unique) < 2:
+            candidates = self._threshold_candidates(column)
+            if candidates is None:
                 continue
-            if len(unique) > self.max_thresholds:
-                candidates = np.quantile(unique,
-                                         np.linspace(0.1, 0.9, self.max_thresholds))
-            else:
-                candidates = (unique[:-1] + unique[1:]) / 2.0
             for threshold in candidates:
                 mask = column <= threshold
                 left, right = y[mask], y[~mask]
@@ -81,7 +117,199 @@ class RegressionTree:
                     best = (feature, float(threshold), mask)
         return best
 
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Sorted cumulative-sum split finder.
+
+        For each feature the per-threshold left/right sums of ``y`` and
+        ``y**2`` come from one sort + cumsum instead of a boolean-mask rescan
+        per threshold.  Because the cumulative sums round differently than
+        the reference's per-side ``np.sum``, the handful of candidates whose
+        approximate gain is within a tolerance of the best are re-evaluated
+        with the exact reference arithmetic — so the selected split (and the
+        fitted tree) is bit-identical to ``_best_split_reference``, at the
+        cumsum scan's speed.
+        """
+        n_samples, n_features = x.shape
+        base_error = float(np.sum((y - y.mean()) ** 2))
+        min_leaf = self.min_samples_leaf
+        max_t = self.max_thresholds
+        fractions = self._quantile_fractions
+        # One bulk sort/cumsum pass over every feature column.
+        orders = np.argsort(x, axis=0, kind="stable")
+        sorted_cols = np.take_along_axis(x, orders, axis=0)
+        ys = y[orders]
+        cum = np.cumsum(ys, axis=0)
+        cum_sq = np.cumsum(ys * ys, axis=0)
+        keep = np.empty_like(sorted_cols, dtype=bool)
+        keep[0, :] = True
+        np.not_equal(sorted_cols[1:], sorted_cols[:-1], out=keep[1:])
+        n_unique = keep.sum(axis=0)
+        total, total_sq = cum[-1], cum_sq[-1]
+
+        # Flat per-feature unique values and their first-occurrence rows:
+        # uvals[offsets[f] + j] is the j-th unique of feature f, and
+        # u_starts[offsets[f] + j] is where its run starts in sorted order.
+        keep_t = keep.T
+        uvals = sorted_cols.T[keep_t]
+        u_starts = np.nonzero(keep_t)[1]
+        offsets = np.zeros(n_features, dtype=np.int64)
+        np.cumsum(n_unique[:-1], out=offsets[1:])
+
+        def run_start(feature_offsets, unique_index, counts):
+            """Row where the ``unique_index``-th run starts (n for one-past)."""
+            clipped = np.minimum(unique_index, counts)
+            past_end = unique_index >= counts
+            idx = feature_offsets + np.where(past_end, 0, clipped)
+            return np.where(past_end, n_samples, u_starts[idx])
+
+        def candidate_block(feature_ids, cand, below, above, counts):
+            """(valid, approx_gain, n_left) for a (features x candidates)
+            block; ``below``/``above`` index each candidate's bracketing
+            uniques so the left-count comes from run starts instead of a
+            per-feature searchsorted."""
+            offs = offsets[feature_ids][:, None]
+            a = uvals[offs + below]
+            b = uvals[offs + above]
+            # Rows with column <= candidate.  The candidate normally lies
+            # strictly between its bracketing uniques, but interpolation may
+            # round it onto either endpoint — adjust the run index to keep
+            # searchsorted(side="right") semantics.
+            next_unique = below + 1 + (cand >= b).astype(np.int64) \
+                - (cand < a).astype(np.int64)
+            n_left = run_start(offs, next_unique, counts[:, None])
+            n_right = n_samples - n_left
+            valid = (n_left >= min_leaf) & (n_right >= min_leaf)
+            safe_left = np.where(n_left > 0, n_left, 1)
+            left_sum = cum[safe_left - 1, feature_ids[:, None]]
+            left_sq = cum_sq[safe_left - 1, feature_ids[:, None]]
+            left_sum = np.where(n_left > 0, left_sum, 0.0)
+            left_sq = np.where(n_left > 0, left_sq, 0.0)
+            err = ((left_sq - left_sum ** 2 / np.where(valid, n_left, 1))
+                   + ((total_sq[feature_ids][:, None] - left_sq)
+                      - (total[feature_ids][:, None] - left_sum) ** 2
+                      / np.where(valid, n_right, 1)))
+            return valid, base_error - err, n_left
+
+        shortlists = []     # (feature_ids, candidates, valid, approx_gain)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            quantile_ids = np.nonzero(n_unique > max_t)[0]
+            if len(quantile_ids):
+                counts = n_unique[quantile_ids]
+                virtual = fractions[None, :] * (counts[:, None] - 1)
+                below = np.floor(virtual).astype(np.int64)
+                above = np.minimum(below + 1, counts[:, None] - 1)
+                gamma = virtual - below
+                offs = offsets[quantile_ids][:, None]
+                a = uvals[offs + below]
+                b = uvals[offs + above]
+                diff = b - a
+                cand = np.where(gamma >= 0.5,
+                                b - diff * (1 - gamma), a + diff * gamma)
+                shortlists.append((quantile_ids, cand)
+                                  + candidate_block(quantile_ids, cand,
+                                                    below, above, counts)[:2])
+            midpoint_ids = np.nonzero((n_unique >= 2) & (n_unique <= max_t))[0]
+            if len(midpoint_ids):
+                counts = n_unique[midpoint_ids]
+                width = int(counts.max()) - 1
+                j = np.arange(width)[None, :]
+                in_range = j < (counts[:, None] - 1)
+                below = np.where(in_range, j, 0)
+                above = below + np.where(in_range, 1, 0)
+                offs = offsets[midpoint_ids][:, None]
+                cand = (uvals[offs + below] + uvals[offs + above]) / 2.0
+                valid, gain, _n_left = candidate_block(midpoint_ids, cand,
+                                                       below, above, counts)
+                shortlists.append((midpoint_ids, cand,
+                                   valid & in_range, gain))
+
+        if not shortlists:
+            return None
+
+        # Decide the winner exactly.  The cumulative-sum errors round
+        # differently than the reference's per-side sums, so every candidate
+        # whose approximate gain is within tolerance of the best is
+        # re-evaluated with the exact reference arithmetic, in the
+        # reference's (feature, candidate) iteration order.
+        tol = float(np.max(np.abs(total_sq))) * 1e-8 + base_error * 1e-8 + 1e-8
+        approx_best = max(float(gain[valid].max()) if valid.any() else -np.inf
+                          for _ids, _cand, valid, gain in shortlists)
+        cutoff = max(approx_best - 2 * tol, 1e-9 - tol)
+        entries = []
+        for feature_ids, cand, valid, gain in shortlists:
+            for row, col in zip(*np.nonzero(valid & (gain > cutoff))):
+                entries.append((int(feature_ids[row]), int(col),
+                                float(cand[row, col])))
+        entries.sort()
+        best_gain = 1e-9
+        best = None
+        for feature, _col, threshold in entries:
+            column = x[:, feature]
+            mask = column <= threshold
+            left, right = y[mask], y[~mask]
+            if len(left) < min_leaf or len(right) < min_leaf:
+                continue
+            error = float(np.sum((left - left.mean()) ** 2)
+                          + np.sum((right - right.mean()) ** 2))
+            gain = base_error - error
+            if gain > best_gain:
+                best_gain = gain
+                best = (feature, float(threshold), mask)
+        return best
+
+    # -- prediction ---------------------------------------------------------------
+    @staticmethod
+    def _flatten(tree: dict) -> Tuple[np.ndarray, ...]:
+        """Flatten the dict tree into (feature, threshold, left, right, value)
+        arrays; leaves carry feature ``-1``."""
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        value: List[float] = []
+
+        def add(node: dict) -> int:
+            slot = len(feature)
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            value.append(node["value"])
+            if "feature" in node:
+                feature[slot] = node["feature"]
+                threshold[slot] = node["threshold"]
+                left[slot] = add(node["left"])
+                right[slot] = add(node["right"])
+            return slot
+
+        add(tree)
+        return (np.asarray(feature, dtype=np.int64),
+                np.asarray(threshold, dtype=np.float64),
+                np.asarray(left, dtype=np.int64),
+                np.asarray(right, dtype=np.int64),
+                np.asarray(value, dtype=np.float64))
+
     def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.tree_ is None:
+            return np.zeros(len(x))
+        if self.reference or self._flat is None:
+            return self.predict_reference(x)
+        feature, threshold, left, right, value = self._flat
+        x = np.asarray(x)
+        node = np.zeros(len(x), dtype=np.int64)
+        while True:
+            feat = feature[node]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            rows = np.nonzero(internal)[0]
+            feats = feat[rows]
+            go_left = x[rows, feats] <= threshold[node[rows]]
+            node[rows] = np.where(go_left, left[node[rows]], right[node[rows]])
+        return value[node]
+
+    def predict_reference(self, x: np.ndarray) -> np.ndarray:
+        """Retained reference: walk the dict tree per row."""
         if self.tree_ is None:
             return np.zeros(len(x))
         out = np.empty(len(x))
@@ -99,7 +327,7 @@ class GradientBoostedTrees:
 
     def __init__(self, num_rounds: int = 40, learning_rate: float = 0.15,
                  max_depth: int = 4, loss: str = "rank", num_pairs: int = 4,
-                 seed: int = 0):
+                 seed: int = 0, reference: bool = False):
         if loss not in ("reg", "rank"):
             raise ValueError("loss must be 'reg' or 'rank'")
         self.num_rounds = num_rounds
@@ -107,9 +335,12 @@ class GradientBoostedTrees:
         self.max_depth = max_depth
         self.loss = loss
         self.num_pairs = num_pairs
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+        self.reference = reference
         self.trees: List[RegressionTree] = []
         self.base_score = 0.0
+        self._stacked: Optional[Tuple] = None
 
     # -- training ----------------------------------------------------------------
     def fit(self, features: np.ndarray, throughputs: np.ndarray) -> "GradientBoostedTrees":
@@ -118,20 +349,55 @@ class GradientBoostedTrees:
         x = np.asarray(features, dtype=np.float64)
         y = np.asarray(throughputs, dtype=np.float64)
         self.trees = []
+        self._stacked = None
         self.base_score = float(np.mean(y)) if len(y) else 0.0
         if len(y) < 4:
             return self
+        gradient_fn = (self._negative_gradient_reference if self.reference
+                       else self._negative_gradient)
         pred = np.full(len(y), self.base_score)
         for _ in range(self.num_rounds):
-            gradient = self._negative_gradient(y, pred)
-            tree = RegressionTree(max_depth=self.max_depth)
+            gradient = gradient_fn(y, pred)
+            tree = RegressionTree(max_depth=self.max_depth,
+                                  reference=self.reference)
             tree.fit(x, gradient)
             update = tree.predict(x)
             pred += self.learning_rate * update
             self.trees.append(tree)
+        self._stack_trees()
         return self
 
-    def _negative_gradient(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    def _stack_trees(self) -> None:
+        """Concatenate every fitted tree's node arrays so one ``predict``
+        descends all trees in lock-step instead of looping per tree."""
+        self._stacked = None
+        if self.reference or not self.trees \
+                or any(t._flat is None for t in self.trees):
+            return
+        roots: List[int] = []
+        feats: List[np.ndarray] = []
+        ths: List[np.ndarray] = []
+        lefts: List[np.ndarray] = []
+        rights: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        offset = 0
+        for tree in self.trees:
+            feature, threshold, left, right, value = tree._flat
+            roots.append(offset)
+            feats.append(feature)
+            ths.append(threshold)
+            lefts.append(np.where(left >= 0, left + offset, left))
+            rights.append(np.where(right >= 0, right + offset, right))
+            values.append(value)
+            offset += len(feature)
+        self._stacked = (np.asarray(roots, dtype=np.int64),
+                         np.concatenate(feats), np.concatenate(ths),
+                         np.concatenate(lefts), np.concatenate(rights),
+                         np.concatenate(values),
+                         max(t.max_depth for t in self.trees))
+
+    def _negative_gradient_reference(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        """Retained reference: per-pair Python loop."""
         if self.loss == "reg":
             return y - pred
         # Pairwise logistic rank loss (LambdaRank-style, unweighted): for a
@@ -153,14 +419,74 @@ class GradientBoostedTrees:
                 grad[worse] -= weight
         return grad
 
+    def _negative_gradient(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        """Vectorized pairwise rank gradient.
+
+        The comparison partners are sampled in one bulk ``integers`` draw
+        (which consumes the generator stream exactly like the reference's
+        per-pair draws), pair orientation and margins are computed with
+        array ops, and the ±weight updates are applied with a single ordered
+        ``np.add.at`` so repeated indices accumulate in the reference's
+        chronological order.  ``math.exp`` is kept for the per-pair weight —
+        ``np.exp`` rounds the last bit differently on some platforms, and the
+        tuner's choices must not depend on which implementation ran.
+        """
+        if self.loss == "reg":
+            return y - pred
+        grad = np.zeros_like(pred)
+        n = len(y)
+        j = self.rng.integers(0, n, size=(n, self.num_pairs))
+        i = np.broadcast_to(np.arange(n)[:, None], j.shape)
+        valid = (j != i) & (y[i] != y[j])
+        i_valid, j_valid = i[valid], j[valid]
+        if len(i_valid) == 0:
+            return grad
+        first_better = y[i_valid] > y[j_valid]
+        better = np.where(first_better, i_valid, j_valid)
+        worse = np.where(first_better, j_valid, i_valid)
+        margins = pred[better] - pred[worse]
+        weights = np.array([1.0 / (1.0 + math.exp(m)) for m in margins])
+        # Interleave (+better, -worse) per pair so duplicate indices add up
+        # in the same order as the reference loop (float addition is not
+        # associative).
+        indices = np.empty(2 * len(better), dtype=np.int64)
+        indices[0::2] = better
+        indices[1::2] = worse
+        signed = np.empty(2 * len(weights))
+        signed[0::2] = weights
+        signed[1::2] = -weights
+        np.add.at(grad, indices, signed)
+        return grad
+
     # -- inference ----------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:
         x = np.asarray(features, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]
-        pred = np.full(len(x), self.base_score)
-        for tree in self.trees:
-            pred += self.learning_rate * tree.predict(x)
+        stacked = getattr(self, "_stacked", None)
+        if stacked is None:
+            pred = np.full(len(x), self.base_score)
+            for tree in self.trees:
+                pred += self.learning_rate * tree.predict(x)
+            return pred
+        roots, feature, threshold, left, right, value, depth = stacked
+        n = len(x)
+        node = np.broadcast_to(roots, (n, len(roots))).copy()
+        for _ in range(depth + 1):
+            feat = feature[node]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            vals = np.take_along_axis(x, np.where(internal, feat, 0), axis=1)
+            go_left = vals <= threshold[node]
+            node = np.where(internal,
+                            np.where(go_left, left[node], right[node]), node)
+        # Accumulate per tree in the reference order (float addition is not
+        # associative, and the explorer compares the resulting scores).
+        leaf = value[node]
+        pred = np.full(n, self.base_score)
+        for t in range(leaf.shape[1]):
+            pred += self.learning_rate * leaf[:, t]
         return pred
 
 

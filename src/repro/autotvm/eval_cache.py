@@ -1,0 +1,123 @@
+"""Shared memoization service for the candidate-evaluation fast path.
+
+The hottest loop in the system — lower a candidate schedule, featurise the
+loop program, score it (paper §5.2–5.3) — is driven from four independent
+places: the model-based tuner, the measurer, the compiler's fallback
+heuristic, and kernel-time estimation.  Lowering and featurisation are
+deterministic per ``(task name, target name, config index)``, so all of them
+share the two bounded LRU caches in this module through
+:meth:`repro.autotvm.Task.lowered` / :meth:`~repro.autotvm.Task.features_of`.
+
+Unlike the dict it replaced (whose "eviction" dropped all 50k entries at
+once), the caches evict one least-recently-used entry at a time, so a long
+tuning session keeps its working set hot.  Failures are cached too: a config
+whose schedule cannot be lowered raises the *same* exception object on every
+evaluation instead of re-running the failing lowering.
+
+Thread safety: the parallel measurer featurises configs from worker threads,
+so every cache operation takes the cache's lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["LRUCache", "LOWERED_CACHE", "FEATURE_CACHE", "clear_eval_caches",
+           "eval_cache_stats", "configure_eval_caches"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A small thread-safe least-recently-used cache."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default=None):
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def resize(self, maxsize: int) -> None:
+        with self._lock:
+            self.maxsize = int(maxsize)
+            while len(self._data) > max(self.maxsize, 0):
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._data), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"LRUCache(size={s['size']}/{s['maxsize']}, "
+                f"hits={s['hits']}, misses={s['misses']})")
+
+
+#: lowered functions are bulkier than feature summaries, so their cache is
+#: kept an order of magnitude smaller
+LOWERED_CACHE = LRUCache(2_048)
+#: extracted :class:`~repro.tir.analysis.ProgramFeatures` per config
+FEATURE_CACHE = LRUCache(50_000)
+
+
+def clear_eval_caches() -> None:
+    """Drop all shared lowering/featurisation state (tests, benchmarks)."""
+    from ..te.expr import _Simplifier
+
+    LOWERED_CACHE.clear()
+    FEATURE_CACHE.clear()
+    # The simplifier memo pins expression nodes process-wide; release them
+    # together with the evaluation caches they fed.
+    _Simplifier._MEMO.clear()
+
+
+def eval_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters of the shared caches (observability hook)."""
+    return {"lowered": LOWERED_CACHE.stats(), "features": FEATURE_CACHE.stats()}
+
+
+def configure_eval_caches(features: Optional[int] = None,
+                          lowered: Optional[int] = None) -> None:
+    """Resize the shared caches (``0`` disables caching entirely)."""
+    if features is not None:
+        FEATURE_CACHE.resize(features)
+    if lowered is not None:
+        LOWERED_CACHE.resize(lowered)

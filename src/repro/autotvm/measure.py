@@ -16,7 +16,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .. import tir
 from ..hardware.base import MeasureResult
 from .space import ConfigEntity
 from .task import Task
@@ -81,9 +80,19 @@ class LocalMeasurer:
         return np.random.default_rng(int.from_bytes(digest.digest()[:8], "little"))
 
     def _build_one(self, inp: MeasureInput):
-        """Builder half: lower the config and extract program features."""
-        func = inp.task.lower(inp.config)
-        return tir.extract_features(func)
+        """Builder half: lower the config and extract program features.
+
+        Served by the shared evaluation cache — when the tuner's cost model
+        already featurised this candidate while scoring it, the measurer
+        reuses that work instead of re-lowering.  Duck-typed task objects
+        that only provide ``lower`` keep the direct path.
+        """
+        task = inp.task
+        if hasattr(task, "features_of"):
+            return task.features_of(inp.config.index)
+        from .. import tir
+
+        return tir.extract_features(task.lower(inp.config))
 
     def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
         try:

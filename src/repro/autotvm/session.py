@@ -188,12 +188,11 @@ def _make_measurer(options: TuningOptions, seed: int) -> LocalMeasurer:
 
 def _config_stats(task: Task, config: ConfigEntity
                   ) -> Tuple[float, Optional[List[float]]]:
-    """One lowering of ``config``: its deterministic hardware-model estimate
-    and its feature vector (``(inf, None)`` for invalid schedules)."""
-    from .. import tir
-
+    """Deterministic hardware-model estimate and feature vector of ``config``
+    (``(inf, None)`` for invalid schedules), via the shared evaluation cache —
+    a config measured during tuning is never re-lowered here."""
     try:
-        features = tir.extract_features(task.lower(config))
+        features = task.features_of(config.index)
         return float(task.target.model.estimate(features)), \
             list(features.to_vector())
     except Exception:

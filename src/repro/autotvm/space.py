@@ -84,6 +84,7 @@ class ConfigSpace:
     def __init__(self) -> None:
         self._candidates: Dict[str, List[object]] = {}
         self.is_fallback = False
+        self._radix: Optional[Tuple[List[str], List[int], List[int], int]] = None
 
     # -- definition API ---------------------------------------------------------
     def define_split(self, name: str, extent: int, num_outputs: int = 2,
@@ -99,30 +100,50 @@ class ConfigSpace:
             if not entities:
                 entities = [SplitEntity([int(extent)] + [1] * (num_outputs - 1))]
             self._candidates[name] = entities
+            self._radix = None
         return self[name]
 
     def define_knob(self, name: str, candidates: Sequence[object]) -> OtherEntity:
         if name not in self._candidates:
             self._candidates[name] = [OtherEntity(v) for v in candidates]
+            self._radix = None
         return self[name]
 
     # -- access -------------------------------------------------------------------
     def __getitem__(self, name: str) -> object:
         return self._candidates[name][0]
 
+    def _radix_info(self) -> Tuple[List[str], List[int], List[int], int]:
+        """Memoized ``(knob names, dims, mixed-radix multipliers, size)``.
+
+        The knob set is fixed once the template has executed, but the hot
+        explorer loops (simulated annealing, hill climbing, GA breeding) read
+        these per candidate — rebuilding the lists each time dominated their
+        inner loops.
+        """
+        radix = self._radix
+        if radix is None:
+            names = list(self._candidates.keys())
+            dims = [len(v) for v in self._candidates.values()]
+            multipliers: List[int] = []
+            product = 1
+            for dim in dims:
+                multipliers.append(product)
+                product *= dim
+            radix = (names, dims, multipliers, product)
+            self._radix = radix
+        return radix
+
     @property
     def knob_names(self) -> List[str]:
-        return list(self._candidates.keys())
+        return list(self._radix_info()[0])
 
     @property
     def dims(self) -> List[int]:
-        return [len(v) for v in self._candidates.values()]
+        return list(self._radix_info()[1])
 
     def __len__(self) -> int:
-        total = 1
-        for dim in self.dims:
-            total *= dim
-        return total
+        return self._radix_info()[3]
 
     def get(self, index: int) -> "ConfigEntity":
         """Return the configuration at a flat index (mixed-radix decode)."""
@@ -137,11 +158,23 @@ class ConfigSpace:
 
     def index_of(self, choices: Dict[str, int]) -> int:
         """Flat index from per-knob candidate indices."""
+        names, _dims, multipliers, _size = self._radix_info()
         index = 0
-        multiplier = 1
-        for name, candidates in self._candidates.items():
+        for name, multiplier in zip(names, multipliers):
             index += choices.get(name, 0) * multiplier
-            multiplier *= len(candidates)
+        return index
+
+    def flat_index(self, knob_indices: Sequence[int]) -> int:
+        """Flat index from per-knob candidate indices in knob order.
+
+        Same arithmetic as :meth:`index_of` without requiring the caller to
+        build a name-keyed dict first — the explorers' neighbour moves call
+        this once per candidate.
+        """
+        _names, _dims, multipliers, _size = self._radix_info()
+        index = 0
+        for choice, multiplier in zip(knob_indices, multipliers):
+            index += choice * multiplier
         return index
 
     def knob_indices(self, index: int) -> List[int]:

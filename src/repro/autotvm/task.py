@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import te, tir
 from ..hardware.target import Target
+from .eval_cache import FEATURE_CACHE, LOWERED_CACHE
 from .space import ConfigEntity, ConfigSpace
 
 __all__ = ["Task", "create_task", "register_template", "get_template", "TEMPLATE_REGISTRY"]
@@ -37,6 +40,39 @@ def get_template(name: str) -> Callable:
     return TEMPLATE_REGISTRY[name]
 
 
+class _FailureMarker:
+    """Cached record of a lowering/featurisation failure.
+
+    The shared caches must not hold live exception instances — every raise
+    would pin its call stack in the cache, and concurrent raises from
+    measurer worker threads would race on ``__traceback__``.  Instead the
+    type and args are kept and an equivalent fresh exception is raised per
+    replay.
+    """
+
+    __slots__ = ("exc_type", "args", "message")
+
+    def __init__(self, exc_type: type, args: Tuple, message: str):
+        self.exc_type = exc_type
+        self.args = args
+        self.message = message
+
+    @classmethod
+    def of(cls, exc: Exception) -> "_FailureMarker":
+        return cls(type(exc), tuple(exc.args), str(exc))
+
+    def replay(self) -> Exception:
+        try:
+            exc = self.exc_type(*self.args)
+            if str(exc) == self.message:
+                return exc
+        except Exception:
+            pass
+        # Exotic constructor or stateful __str__: fall back to a plain error
+        # carrying the original message.
+        return RuntimeError(self.message)
+
+
 class Task:
     """One operator-tuning problem."""
 
@@ -49,6 +85,10 @@ class Task:
         # Execute the template once against the bare space so every knob is
         # registered with its candidates.
         self.template(self.config_space, *self.args)
+        self._flop: Optional[float] = None
+        # Shared-cache identity: the workload args are part of the key so two
+        # same-named tasks over different workloads never share lowerings.
+        self._cache_prefix = (self.name, repr(self.args), self.target.name)
 
     # ------------------------------------------------------------------ api
     @property
@@ -60,19 +100,72 @@ class Task:
 
     @property
     def flop(self) -> float:
-        """Total floating point work of the default-schedule program."""
-        func = self.lower(self.config_space.get(0))
-        features = tir.extract_features(func)
-        return features.total_flops
+        """Total floating point work of the default-schedule program.
+
+        Computed once per task instance (and served from the shared feature
+        cache across instances of the same workload) — callers such as
+        ``MeasureResultRecord.gflops`` read it per record.
+        """
+        if self._flop is None:
+            self._flop = float(self.features_of(0).total_flops)
+        return self._flop
 
     def instantiate(self, config: ConfigEntity) -> Tuple[te.Schedule, List[te.Tensor]]:
         """Build the schedule described by ``config``."""
         return self.template(config, *self.args)
 
     def lower(self, config: ConfigEntity) -> tir.LoweredFunc:
-        """Instantiate and lower one configuration."""
+        """Instantiate and lower one configuration (uncached)."""
         schedule, tensors = self.instantiate(config)
         return tir.lower(schedule, tensors, name=f"{self.name}_c{config.index}")
+
+    # ---------------------------------------------------- memoized fast path
+    def _cache_key(self, index: int) -> Tuple[str, str, str, int]:
+        return self._cache_prefix + (index,)
+
+    def lowered(self, index: int) -> tir.LoweredFunc:
+        """Memoized :meth:`lower` of the config at ``index``.
+
+        Lowering is deterministic per ``(workload, target, config)``; results
+        are shared across :class:`Task` instances through a bounded LRU.  A
+        config whose schedule fails to lower raises an equivalent exception
+        on every call without re-running the lowering.
+        """
+        key = self._cache_key(index)
+        cached = LOWERED_CACHE.get(key)
+        if cached is None:
+            try:
+                cached = self.lower(self.config_space.get(index))
+            except Exception as exc:  # cache the failure, too
+                cached = _FailureMarker.of(exc)
+            LOWERED_CACHE.put(key, cached)
+        if isinstance(cached, _FailureMarker):
+            raise cached.replay()
+        return cached
+
+    def features_of(self, index: int) -> tir.ProgramFeatures:
+        """Memoized program features of the config at ``index``.
+
+        This is the entry point of the candidate-evaluation fast path: the
+        tuner's cost model, the measurer, the compiler's fallback-config
+        search and kernel-time estimation all read the same shared cache, so
+        one lowering+featurisation serves every consumer.
+        """
+        key = self._cache_key(index)
+        cached = FEATURE_CACHE.get(key)
+        if cached is None:
+            try:
+                cached = tir.extract_features(self.lowered(index))
+            except Exception as exc:
+                cached = _FailureMarker.of(exc)
+            FEATURE_CACHE.put(key, cached)
+        if isinstance(cached, _FailureMarker):
+            raise cached.replay()
+        return cached
+
+    def feature_vector(self, index: int) -> np.ndarray:
+        """Cost-model feature vector of the config at ``index`` (read-only)."""
+        return self.features_of(index).vector()
 
     def __repr__(self) -> str:
         return (f"Task({self.name}, target={self.target.name}, "

@@ -201,8 +201,7 @@ class GATuner(Tuner):
                      for m, f in zip(mother, father)]
             child = [self.rng.randrange(dims[i]) if self.rng.random() < self.mutation_prob
                      else v for i, v in enumerate(cross)]
-            index = space.index_of({name: child[i]
-                                    for i, name in enumerate(space.knob_names)})
+            index = space.flat_index(child)
             if index in self._visited or index in pending:
                 continue
             pending.add(index)
@@ -241,8 +240,7 @@ class SimulatedAnnealingOptimizer:
         if dims[knob] > 1:
             move = self.rng.choice([-1, 1])
             knobs[knob] = (knobs[knob] + move) % dims[knob]
-        return space.index_of({name: knobs[i]
-                               for i, name in enumerate(space.knob_names)})
+        return space.flat_index(knobs)
 
     def find_maximums(self, score_fn: Callable[[List[int]], np.ndarray],
                       num_best: int, exclude: set,
@@ -287,17 +285,14 @@ class ModelBasedTuner(Tuner):
     (this workload or a related shape) transfers into a new session.
     """
 
-    #: lowered-program features shared across tuner instances — lowering is
-    #: deterministic per (workload, target, config), and re-tuning the same
-    #: workload (new sessions, warm starts, benchmarks) is common.  Bounded
-    #: by _SHARED_FEATURES_LIMIT and clearable via clear_shared_features()
-    #: (also hooked into graph.clear_timing_cache()).
-    _SHARED_FEATURES: Dict[Tuple[str, str, int], np.ndarray] = {}
-    _SHARED_FEATURES_LIMIT = 50_000
-
     @classmethod
     def clear_shared_features(cls) -> None:
-        cls._SHARED_FEATURES.clear()
+        """Backward-compatible alias for clearing the shared evaluation
+        caches (lowering + featurisation) all tuners now read through
+        :meth:`Task.features_of`."""
+        from .eval_cache import clear_eval_caches
+
+        clear_eval_caches()
 
     def __init__(self, task: Task, cost_model: Optional[object] = None,
                  plan_size: int = 16, sa_steps: int = 64, seed: int = 0,
@@ -316,26 +311,22 @@ class ModelBasedTuner(Tuner):
 
     # -- featurisation ------------------------------------------------------------
     def _features_of(self, index: int) -> np.ndarray:
-        if index not in self._feature_cache:
-            shared_key = (self.task.name, self.task.target.name, index)
-            vector = self._SHARED_FEATURES.get(shared_key)
-            if vector is None:
-                from .. import tir
+        vector = self._feature_cache.get(index)
+        if vector is None:
+            try:
+                # Shared, LRU-bounded service: one lowering+featurisation per
+                # (workload, target, config) serves the tuner, the measurer,
+                # and the compiler's estimation paths alike.
+                vector = self.task.feature_vector(index)
+            except Exception:
+                from ..tir.analysis import FEATURE_NAMES
 
-                config = self.task.config_space.get(index)
-                try:
-                    func = self.task.lower(config)
-                    vector = np.asarray(tir.extract_features(func).to_vector())
-                    if len(self._SHARED_FEATURES) >= self._SHARED_FEATURES_LIMIT:
-                        self._SHARED_FEATURES.clear()
-                    self._SHARED_FEATURES[shared_key] = vector
-                except Exception:
-                    # Instance-local placeholder only: its length depends on
-                    # this instance's cache state, so it must not be shared.
-                    vector = np.zeros(len(next(iter(self._feature_cache.values()),
-                                               np.zeros(42))))
+                # Placeholder for configs whose schedule cannot be lowered:
+                # sized from the feature schema, so a failure on the very
+                # first candidate cannot poison the feature-matrix width.
+                vector = np.zeros(len(FEATURE_NAMES))
             self._feature_cache[index] = vector
-        return self._feature_cache[index]
+        return vector
 
     def _score(self, indices: List[int]) -> np.ndarray:
         if not self._trained:
@@ -362,7 +353,7 @@ class ModelBasedTuner(Tuner):
         for inp, res in zip(inputs, results):
             if not res.valid:
                 continue
-            features = (np.asarray(res.features.to_vector())
+            features = (res.features.vector()
                         if res.features is not None
                         else self._features_of(inp.config.index))
             self._feature_cache[inp.config.index] = features

@@ -42,11 +42,11 @@ _FALLBACK_CACHE: Dict[Tuple, Tuple[float, int]] = {}
 
 
 def clear_timing_cache() -> None:
-    from ..autotvm.tuner import ModelBasedTuner
+    from ..autotvm.eval_cache import clear_eval_caches
 
     KERNEL_TIME_CACHE.clear()
     _FALLBACK_CACHE.clear()
-    ModelBasedTuner.clear_shared_features()
+    clear_eval_caches()
 
 
 @dataclass(frozen=True)
@@ -285,8 +285,8 @@ def kernel_time(node: Node, target: Target,
     if entry is not None:
         task = make_task_for_node(node, target)
         try:
-            func = task.lower(task.config_space.get(entry.config_index))
-            best_time = target.model.estimate(tir.extract_features(func))
+            best_time = target.model.estimate(
+                task.features_of(entry.config_index))
         except Exception:
             best_time = float("inf")
         tuned, config_index = True, entry.config_index
@@ -345,35 +345,46 @@ def fallback_search(task: Task, target: Target, n_random: int = 24,
     rng = _random.Random(seed)
     scored: Dict[int, float] = {}
 
-    def score(index: int) -> float:
-        if index in scored:
-            return scored[index]
-        try:
-            func = task.lower(space.get(index))
-            estimate = target.model.estimate(tir.extract_features(func))
-        except Exception:
-            estimate = float("inf")
-        scored[index] = estimate
-        return estimate
+    def score_batch(indices) -> None:
+        """Featurise (through the shared evaluation cache) and score one
+        round of candidates as a single hardware-model batch call."""
+        todo = []
+        pending = set()
+        for index in indices:
+            if index not in scored and index not in pending:
+                pending.add(index)
+                todo.append(index)
+        if not todo:
+            return
+        features = []
+        for index in todo:
+            try:
+                features.append(task.features_of(index))
+            except Exception:
+                features.append(None)    # scores inf in the batch call
+        times = target.model.estimate_batch(features)
+        for index, time in zip(todo, times):
+            scored[index] = float(time)
 
-    for candidate in space.sample(max(n_random, 1), rng=rng):
-        score(candidate.index)
+    score_batch(c.index for c in space.sample(max(n_random, 1), rng=rng))
 
+    # Knob geometry is memoized on the space; neighbours are mapped to flat
+    # indices arithmetically so already-scored ones are skipped before any
+    # knob-dict construction or lowering happens.
     dims = space.dims
-    names = space.knob_names
     for _ in range(max(climb_rounds, 0)):
         seeds = sorted(scored, key=scored.get)[:top_k]
+        round_batch = []
         for index in seeds:
             knobs = space.knob_indices(index)
             for pos in range(len(knobs)):
+                if dims[pos] <= 1:
+                    continue
                 for delta in (-1, 1):
-                    if dims[pos] <= 1:
-                        continue
                     neighbor = list(knobs)
                     neighbor[pos] = (neighbor[pos] + delta) % dims[pos]
-                    neighbor_index = space.index_of(
-                        {name: neighbor[i] for i, name in enumerate(names)})
-                    score(neighbor_index)
+                    round_batch.append(space.flat_index(neighbor))
+        score_batch(round_batch)
 
     best_index = min(scored, key=scored.get)
     return scored[best_index], best_index

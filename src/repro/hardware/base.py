@@ -81,6 +81,26 @@ class HardwareModel:
     def estimate_func(self, func: LoweredFunc) -> float:
         return self.estimate(extract_features(func))
 
+    def estimate_batch(self, features_seq) -> np.ndarray:
+        """Latency estimates for a whole batch of candidate programs.
+
+        The candidate-evaluation pipeline scores a round of configurations as
+        one call instead of N scalar calls.  Entries that raise (invalid
+        schedules, resource overflow) or come in as ``None`` (failed
+        lowerings) score ``inf`` instead of aborting the batch.  Subclasses
+        with a vectorizable analytic model may override this loop.
+        """
+        out = np.empty(len(features_seq), dtype=np.float64)
+        for i, features in enumerate(features_seq):
+            if features is None:
+                out[i] = np.inf
+                continue
+            try:
+                out[i] = self.estimate(features)
+            except Exception:
+                out[i] = np.inf
+        return out
+
     def measure(self, func_or_features, number: int = 3,
                 rng: Optional[np.random.Generator] = None) -> MeasureResult:
         """Simulate timing a kernel ``number`` times on the device."""

@@ -411,11 +411,23 @@ class Range:
 # Construction helpers
 # ---------------------------------------------------------------------------
 
+#: interned small int32 immediates — loop bounds and indices allocate the
+#: same handful of constants millions of times on the lowering fast path.
+#: IntImm nodes are immutable, so sharing is observationally equivalent.
+_SMALL_INTS: Dict[int, "IntImm"] = {}
+
+
 def const(value: Union[int, float, bool], dtype: Optional[str] = None) -> Expr:
     """Create an immediate expression from a Python number."""
     if isinstance(value, bool):
         return IntImm(int(value), dtype or "bool")
     if isinstance(value, int):
+        if (dtype is None or dtype == "int32") and -64 <= value <= 1024:
+            imm = _SMALL_INTS.get(value)
+            if imm is None:
+                imm = IntImm(value, "int32")
+                _SMALL_INTS[value] = imm
+            return imm
         return IntImm(value, dtype or "int32")
     return FloatImm(float(value), dtype or "float32")
 
@@ -439,13 +451,35 @@ def as_expr(value: object) -> Expr:
 # Visitors
 # ---------------------------------------------------------------------------
 
+def _dispatch(visitor: object, node: object):
+    """Resolve ``visit_<nodetype>`` once per (visitor class, node class).
+
+    The per-node ``getattr(self, f"visit_{...}")`` string build dominated
+    visitor dispatch cost on the hot lowering/featurisation path; the result
+    is memoized in a dict stored on the visitor class itself (so short-lived
+    local visitor classes take their cache with them when collected).
+    """
+    cls = type(visitor)
+    cache = cls.__dict__.get("_dispatch_cache")
+    if cache is None:
+        cache = {}
+        cls._dispatch_cache = cache
+    node_cls = type(node)
+    try:
+        return cache[node_cls]
+    except KeyError:
+        method = getattr(cls, f"visit_{node_cls.__name__.lower()}", None)
+        cache[node_cls] = method
+        return method
+
+
 class ExprVisitor:
     """Generic read-only traversal of an expression tree."""
 
     def visit(self, expr: Expr) -> None:
-        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        method = _dispatch(self, expr)
         if method is not None:
-            method(expr)
+            method(self, expr)
         else:
             self.generic_visit(expr)
 
@@ -458,10 +492,25 @@ class ExprMutator:
     """Generic rebuild-on-the-way-up mutation of an expression tree."""
 
     def visit(self, expr: Expr) -> Expr:
-        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        method = _dispatch(self, expr)
         if method is not None:
-            return method(expr)
+            return method(self, expr)
         return self.generic_visit(expr)
+
+    # Leaf fast paths: immediates and variables have no children, so the
+    # default mutation is the identity.  Subclasses that rewrite leaves
+    # (e.g. the substituter's ``visit_var``) override these as usual.
+    def visit_var(self, expr: Expr) -> Expr:
+        return expr
+
+    def visit_intimm(self, expr: Expr) -> Expr:
+        return expr
+
+    def visit_floatimm(self, expr: Expr) -> Expr:
+        return expr
+
+    def visit_stringimm(self, expr: Expr) -> Expr:
+        return expr
 
     def generic_visit(self, expr: Expr) -> Expr:
         if isinstance(expr, BinaryOp):
@@ -523,9 +572,11 @@ def expr_children(expr: Expr) -> List[Expr]:
 def collect_vars(expr: Expr) -> List[Var]:
     """Collect all distinct :class:`Var` nodes appearing in ``expr``."""
     seen: List[Var] = []
+    seen_ids: set = set()    # identity dedup without an O(n) rescan per add
 
     def _add(v: Var) -> None:
-        if not any(v is existing for existing in seen):
+        if id(v) not in seen_ids:
+            seen_ids.add(id(v))
             seen.append(v)
 
     def _walk(e: Expr) -> None:
@@ -552,7 +603,12 @@ class _Substituter(ExprMutator):
 
 def substitute(expr: Expr, mapping: Dict[Var, ExprLike]) -> Expr:
     """Substitute variables in ``expr`` using ``mapping``."""
-    cleaned = {k: as_expr(v) for k, v in mapping.items()}
+    for value in mapping.values():
+        if not isinstance(value, Expr):
+            cleaned: Dict[Var, Expr] = {k: as_expr(v) for k, v in mapping.items()}
+            break
+    else:
+        cleaned = mapping
     return _Substituter(cleaned).visit(expr)
 
 
@@ -584,32 +640,74 @@ class _Simplifier(ExprMutator):
         GE: lambda a, b: int(a >= b),
     }
 
+    #: global memo of simplified results, keyed by node identity.  Expression
+    #: nodes are immutable and substitution splices shared subtrees into many
+    #: parents, so the same object is re-simplified constantly on the
+    #: lowering fast path.  The original is pinned in the value to keep its
+    #: id stable.  Unlike the lowering/feature caches, entries cost microseconds
+    #: to recompute, so overflow is handled by a wholesale wipe instead of
+    #: paying LRU bookkeeping on every fold; clear_eval_caches() also empties
+    #: it to release the pinned nodes.
+    _MEMO: dict = {}
+    _MEMO_LIMIT = 200_000
+
+    def visit(self, expr: Expr) -> Expr:
+        memo = self._MEMO
+        key = id(expr)
+        hit = memo.get(key)
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        # Specialized hot path: loop-index expressions are almost entirely
+        # binary arithmetic over variables and immediates, so handle those
+        # without the generic dispatch/rebuild machinery.
+        if isinstance(expr, BinaryOp):
+            a = self.visit(expr.a)
+            b = self.visit(expr.b)
+            if a is not expr.a or b is not expr.b:
+                result = self._fold(type(expr)(a, b))
+            else:
+                result = self._fold(expr)
+        elif isinstance(expr, (Var, IntImm, FloatImm, StringImm)):
+            return expr
+        else:
+            result = super().visit(expr)
+        if len(memo) >= self._MEMO_LIMIT:
+            memo.clear()
+        memo[key] = (expr, result)
+        return result
+
     def generic_visit(self, expr: Expr) -> Expr:
         expr = super().generic_visit(expr)
         if isinstance(expr, BinaryOp):
-            a, b = _imm_value(expr.a), _imm_value(expr.b)
-            if a is not None and b is not None:
-                value = self._FOLD[type(expr)](a, b)
-                if isinstance(expr.a, IntImm) and isinstance(expr.b, IntImm):
-                    return IntImm(int(value))
-                return FloatImm(float(value))
-            # algebraic identities
-            if isinstance(expr, Add):
-                if a == 0:
-                    return expr.b
-                if b == 0:
-                    return expr.a
-            if isinstance(expr, Sub) and b == 0:
+            return self._fold(expr)
+        return expr
+
+    def _fold(self, expr: BinaryOp) -> Expr:
+        a, b = _imm_value(expr.a), _imm_value(expr.b)
+        if a is None and b is None:
+            return expr        # every rule below needs an immediate operand
+        if a is not None and b is not None:
+            value = self._FOLD[type(expr)](a, b)
+            if isinstance(expr.a, IntImm) and isinstance(expr.b, IntImm):
+                return IntImm(int(value))
+            return FloatImm(float(value))
+        # algebraic identities
+        if isinstance(expr, Add):
+            if a == 0:
+                return expr.b
+            if b == 0:
                 return expr.a
-            if isinstance(expr, Mul):
-                if a == 1:
-                    return expr.b
-                if b == 1:
-                    return expr.a
-                if a == 0 or b == 0:
-                    return IntImm(0) if expr.dtype.startswith("int") else FloatImm(0.0)
-            if isinstance(expr, (Div, FloorDiv)) and b == 1:
+        if isinstance(expr, Sub) and b == 0:
+            return expr.a
+        if isinstance(expr, Mul):
+            if a == 1:
+                return expr.b
+            if b == 1:
                 return expr.a
+            if a == 0 or b == 0:
+                return IntImm(0) if expr.dtype.startswith("int") else FloatImm(0.0)
+        if isinstance(expr, (Div, FloorDiv)) and b == 1:
+            return expr.a
         return expr
 
 
@@ -631,9 +729,16 @@ def structural_equal(a: Expr, b: Expr) -> bool:
     return all(structural_equal(x, y) for x, y in zip(children_a, children_b))
 
 
+#: stateless, so one shared instance serves every ``simplify`` call
+_SIMPLIFIER = _Simplifier()
+
+
 def simplify(expr: ExprLike) -> Expr:
     """Constant-fold and apply simple algebraic identities."""
-    result = _Simplifier().visit(as_expr(expr))
+    expr = as_expr(expr)
+    if isinstance(expr, (Var, IntImm, FloatImm, StringImm)):
+        return expr    # leaves are already in simplest form
+    result = _SIMPLIFIER.visit(expr)
     # Cancel exact self-subtraction produced by buffer rebasing: (x + e) - e.
     if isinstance(result, Sub):
         if structural_equal(result.a, result.b):

@@ -174,6 +174,22 @@ class ProgramFeatures:
         return sum(r.cache_traffic(cache_bytes) for r in regions)
 
     # -- vectorisation for the ML cost model -----------------------------------
+    def vector(self) -> "np.ndarray":
+        """Memoized read-only ndarray form of :meth:`to_vector`.
+
+        Feature vectors are re-read constantly on the tuning fast path (cost
+        model scoring, training-set assembly, database records); the list is
+        built and converted once per :class:`ProgramFeatures` instance.
+        """
+        import numpy as np
+
+        vec = self.__dict__.get("_vector")
+        if vec is None:
+            vec = np.asarray(self.to_vector(), dtype=np.float64)
+            vec.setflags(write=False)
+            self.__dict__["_vector"] = vec
+        return vec
+
     def to_vector(self) -> List[float]:
         def log1(x: float) -> float:
             return math.log(max(x, 0.0) + 1.0)
@@ -245,29 +261,212 @@ def _count_ops(expr: Expr) -> Tuple[int, int]:
     return flops, iops
 
 
+#: shared "fixed at zero" interval for bound queries
+_ZERO_BOUNDS = (0, 0)
+
+# ---------------------------------------------------------------------------
+# Compiled interval evaluation
+#
+# ``te.expr.expr_bounds`` re-dispatches on node types recursively for every
+# (access, loop level) query.  The extractor instead compiles each index
+# expression once into a postorder program of (opcode, payload) steps and
+# replays it with a value stack — performing the *same* arithmetic on the
+# same values in the same order, so the resulting intervals are bit-identical.
+# ---------------------------------------------------------------------------
+
+_B_VAR, _B_CONST, _B_BINOP, _B_SELECT, _B_UNION = range(5)
+
+
+def _bounds_add(a, b):
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _bounds_sub(a, b):
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def _bounds_mul(a, b):
+    candidates = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(candidates), max(candidates))
+
+
+def _bounds_div(a, b):
+    divisors = [d for d in (b[0], b[1]) if d != 0]
+    if not divisors:
+        return a
+    candidates = [a[0] / d for d in divisors] + [a[1] / d for d in divisors]
+    return (min(candidates), max(candidates))
+
+
+def _bounds_floordiv(a, b):
+    divisors = [d for d in (b[0], b[1]) if d != 0]
+    if not divisors:
+        return a
+    candidates = [math.floor(a[0] / d) for d in divisors] \
+        + [math.floor(a[1] / d) for d in divisors]
+    return (min(candidates), max(candidates))
+
+
+def _bounds_mod(a, b):
+    if b[0] == b[1] and b[0] > 0:
+        divisor = b[0]
+        if math.floor(a[0] / divisor) == math.floor(a[1] / divisor):
+            return (a[0] % divisor, a[1] % divisor)
+        return (0, divisor - 1)
+    return (0, max(abs(b[0]), abs(b[1])) - 1)
+
+
+def _bounds_min(a, b):
+    return (min(a[0], b[0]), min(a[1], b[1]))
+
+
+def _bounds_max(a, b):
+    return (max(a[0], b[0]), max(a[1], b[1]))
+
+
+def _compile_bounds(expr: Expr) -> Tuple[List, List[Tuple[int, object]]]:
+    """Compile ``expr`` into ``(free vars, postorder program)``.
+
+    The variable collection follows ``collect_vars`` exactly (identity-
+    deduplicated, first-seen order, including select conditions and reduce
+    axes) while the program mirrors ``expr_bounds``'s evaluation structure,
+    so one traversal replaces the extractor's two per-index walks.
+    """
+    from ..te.expr import (Cast, Div, FloorDiv, FloatImm, IntImm, Max, Min,
+                          Mod, Reduce, Select, Var)
+
+    binops = {Add: _bounds_add, Sub: _bounds_sub, Mul: _bounds_mul,
+              Div: _bounds_div, FloorDiv: _bounds_floordiv, Mod: _bounds_mod,
+              Min: _bounds_min, Max: _bounds_max}
+    program: List[Tuple[int, object]] = []
+    seen_vars: List = []
+    seen_ids: set = set()
+
+    def add_var(var) -> None:
+        if id(var) not in seen_ids:
+            seen_ids.add(id(var))
+            seen_vars.append(var)
+
+    def walk_vars(node: Expr) -> None:
+        """Var-only walk for subtrees the interval program never evaluates
+        (select conditions) — mirrors ``collect_vars``."""
+        if isinstance(node, Var):
+            add_var(node)
+            return
+        for child in expr_children(node):
+            walk_vars(child)
+        if isinstance(node, Reduce):
+            for iv in node.axis:
+                add_var(iv.var)
+
+    def emit(node: Expr) -> None:
+        if isinstance(node, Var):
+            add_var(node)
+            program.append((_B_VAR, node))
+            return
+        if isinstance(node, (IntImm, FloatImm)):
+            program.append((_B_CONST, (node.value, node.value)))
+            return
+        handler = binops.get(type(node))
+        if handler is not None:
+            emit(node.a)
+            emit(node.b)
+            program.append((_B_BINOP, handler))
+            return
+        if isinstance(node, Select):
+            # expr_bounds unions the two value arms; the condition is never
+            # evaluated (but its vars still count as free).
+            walk_vars(node.condition)
+            emit(node.true_value)
+            emit(node.false_value)
+            program.append((_B_SELECT, None))
+            return
+        if isinstance(node, Cast):
+            emit(node.value)
+            return
+        children = expr_children(node)
+        if not children:
+            program.append((_B_CONST, (0, 0)))
+            return
+        for child in children:
+            emit(child)
+        if isinstance(node, Reduce):
+            for iv in node.axis:
+                add_var(iv.var)
+        program.append((_B_UNION, len(children)))
+
+    emit(expr)
+    return seen_vars, program
+
+
+def _eval_bounds(program: List[Tuple[int, object]], env: Dict) -> Tuple:
+    """Replay a compiled bounds program against per-var intervals."""
+    stack: List[Tuple] = []
+    push = stack.append
+    for code, payload in program:
+        if code == _B_VAR:
+            push(env[payload])
+        elif code == _B_CONST:
+            push(payload)
+        elif code == _B_BINOP:
+            b = stack.pop()
+            a = stack.pop()
+            push(payload(a, b))
+        elif code == _B_SELECT:
+            f = stack.pop()
+            t = stack.pop()
+            push((min(t[0], f[0]), max(t[1], f[1])))
+        else:  # _B_UNION
+            parts = stack[-payload:]
+            del stack[-payload:]
+            low, high = parts[0]
+            for part in parts[1:]:
+                low = min(low, part[0])
+                high = max(high, part[1])
+            push((low, high))
+    return stack[-1]
+
+
 class _FeatureExtractor:
+    """Single-pass statement walker.
+
+    The walker maintains the *effective* loop stack incrementally — the
+    enclosing loops with re-bound thread tags deduplicated (outermost binding
+    wins) and their extents pre-evaluated — instead of re-deriving it for
+    every buffer access, and memoizes ``collect_vars`` per index expression.
+    The features produced are bit-identical to a naive per-access recompute.
+    """
+
     def __init__(self) -> None:
         self.features = ProgramFeatures()
         self._loop_stack: List[For] = []
         self._thread_tags: List[str] = []
+        # Effective (tag-deduplicated) loop stack, maintained in _visit_for.
+        self._eff_loops: List[For] = []
+        self._eff_extents: List[float] = []     # float extent, 1.0 if symbolic
+        self._eff_full: List[Tuple] = []        # (0, extent - 1) interval
+        self._eff_level: Dict[object, int] = {} # loop_var -> eff stack index
+        self._eff_added: List[bool] = []        # per _loop_stack entry
+        self._active_tags: Set[str] = set()
+        self._trip_products: List[float] = [1.0]  # prefix products of extents
+        self._index_cache: Dict[int, Tuple[Expr, List, List]] = {}
+
+    def _index_info(self, expr: Expr) -> Tuple[List, List]:
+        """Memoized ``(free vars, compiled bounds program)`` of an index
+        expression (the expr is pinned in the value to keep ids stable)."""
+        cached = self._index_cache.get(id(expr))
+        if cached is None:
+            free, program = _compile_bounds(expr)
+            cached = (expr, free, program)
+            self._index_cache[id(expr)] = cached
+        return cached[1], cached[2]
 
     # Effective iteration multiplier for the current loop nest.  Loops bound
     # to a thread tag already active in an enclosing loop re-use the same
     # hardware thread (cooperative fetching pattern) and therefore do not
     # multiply the per-thread trip count.
     def _trip_count(self) -> float:
-        product = 1.0
-        seen: Set[str] = set()
-        for loop in self._loop_stack:
-            if loop.thread_tag:
-                if loop.thread_tag in seen:
-                    continue
-                seen.add(loop.thread_tag)
-            try:
-                product *= loop.extent_value()
-            except ValueError:
-                product *= 1
-        return product
+        return self._trip_products[-1]
 
     def _effective_access_count(self, indices: List[Expr]) -> float:
         """Number of times this access actually reaches the memory system.
@@ -286,33 +485,18 @@ class _FeatureExtractor:
         Thread-bound loops re-using an already bound tag are skipped exactly
         as in :meth:`_trip_count`.
         """
-        from ..te.expr import collect_vars
-
         index_vars = set()
         for index in indices:
             try:
-                index_vars.update(collect_vars(index))
+                index_vars.update(self._index_info(index)[0])
             except Exception:
                 return self._trip_count()
 
-        # Deduplicate loops re-using an already-bound thread tag (the
-        # innermost binding wins, matching _trip_count / _record_region).
-        loops: List[For] = []
-        seen_tags: Set[str] = set()
-        for loop in self._loop_stack:
-            if loop.thread_tag:
-                if loop.thread_tag in seen_tags:
-                    continue
-                seen_tags.add(loop.thread_tag)
-            loops.append(loop)
-
         count = 1.0
         all_deeper_independent = True
-        for loop in reversed(loops):
-            try:
-                extent = float(loop.extent_value())
-            except ValueError:
-                extent = 1.0
+        for pos in range(len(self._eff_loops) - 1, -1, -1):
+            loop = self._eff_loops[pos]
+            extent = self._eff_extents[pos]
             independent = loop.loop_var not in index_vars
             registers_carry = loop.kind in (ForKind.UNROLLED, ForKind.VECTORIZED)
             if independent and (all_deeper_independent or registers_carry):
@@ -325,50 +509,58 @@ class _FeatureExtractor:
     def _record_region(self, buffer: Buffer, indices: List[Expr],
                        is_store: bool) -> None:
         """Record loop-level touch statistics for one buffer access."""
-        from ..te.expr import Interval, Var, collect_vars, expr_bounds
+        loops = self._eff_loops
+        extents = self._eff_extents
+        n_loops = len(loops)
 
-        # Deduplicate loops re-using an already-bound thread tag.
-        loops: List[For] = []
-        seen_tags: Set[str] = set()
-        for loop in self._loop_stack:
-            if loop.thread_tag:
-                if loop.thread_tag in seen_tags:
-                    continue
-                seen_tags.add(loop.thread_tag)
-            loops.append(loop)
-
-        extents: List[float] = []
-        for loop in loops:
+        # Per-index extent multiplier at each level.  The bounds of an index
+        # only change at levels that fix one of its free loop vars, so the
+        # compiled program runs once per (index, free loop) instead of per
+        # level.
+        per_index: List[List[float]] = []
+        eff_level = self._eff_level
+        eff_full = self._eff_full
+        for index in indices:
             try:
-                extents.append(float(loop.extent_value()))
-            except ValueError:
-                extents.append(1.0)
+                free, program = self._index_info(index)
+            except Exception:
+                per_index.append([1.0] * (n_loops + 1))
+                continue
+            # Resolve each free var's loop position once per access; bounds
+            # only change at the levels that fix one of those loops.
+            free_pos = [(v, eff_level.get(v)) for v in free]
+            recompute = {pos + 1 for _v, pos in free_pos if pos is not None}
+            vals: List[float] = []
+            current = None
+            for level in range(n_loops + 1):
+                if current is None or level in recompute:
+                    try:
+                        env = {}
+                        for v, pos in free_pos:
+                            if pos is None or pos < level:
+                                env[v] = _ZERO_BOUNDS
+                            else:
+                                env[v] = eff_full[pos]
+                        low, high = _eval_bounds(program, env)
+                        current = max(1.0, float(high - low + 1))
+                    except Exception:
+                        current = 1.0
+                vals.append(current)
+            per_index.append(vals)
 
         elem = dtype_bytes(buffer.dtype)
+        size_bytes = float(buffer.size_bytes)
         touched: List[float] = []
         trips: List[float] = []
-        for level in range(len(loops) + 1):
-            # Loops shallower than ``level`` are fixed, deeper ones span.
-            ranges: Dict[Var, Interval] = {}
-            for idx, loop in enumerate(loops):
-                if idx < level:
-                    ranges[loop.loop_var] = Interval(0, 0)
-                else:
-                    ranges[loop.loop_var] = Interval(0, max(extents[idx] - 1, 0))
+        trip = 1.0
+        for level in range(n_loops + 1):
             region = elem
-            for index in indices:
-                try:
-                    free = collect_vars(index)
-                    local = {v: ranges.get(v, Interval(0, 0)) for v in free}
-                    bounds = expr_bounds(index, local)
-                    region *= max(1.0, float(bounds.extent))
-                except Exception:
-                    region *= 1.0
-            trip = 1.0
-            for idx in range(level):
-                trip *= extents[idx]
-            touched.append(min(region, float(buffer.size_bytes)))
+            for vals in per_index:
+                region *= vals[level]
+            touched.append(min(region, size_bytes))
             trips.append(trip)
+            if level < n_loops:
+                trip *= extents[level]
 
         total = trips[-1] if trips else 1.0
         self.features.access_regions.append(AccessRegion(
@@ -477,7 +669,7 @@ class _FeatureExtractor:
         elif loop.kind == ForKind.PARALLEL:
             self.features.parallel_extent *= float(extent)
         elif loop.kind == ForKind.THREAD_BINDING and loop.thread_tag:
-            if loop.thread_tag not in {l.thread_tag for l in self._loop_stack}:
+            if loop.thread_tag not in self._active_tags:
                 current = self.features.thread_extents.get(loop.thread_tag, 1.0)
                 self.features.thread_extents[loop.thread_tag] = current * float(extent)
         elif loop.kind == ForKind.VTHREAD:
@@ -487,11 +679,33 @@ class _FeatureExtractor:
                 self.features.outer_loop_count += 1
             self.features.serial_trip_count *= float(max(extent, 1))
 
+        # Push onto the effective (tag-deduplicated) stack unless an
+        # enclosing loop already binds the same thread tag.
+        added = not (loop.thread_tag and loop.thread_tag in self._active_tags)
+        if added:
+            ext = float(extent)
+            if loop.thread_tag:
+                self._active_tags.add(loop.thread_tag)
+            self._eff_loops.append(loop)
+            self._eff_extents.append(ext)
+            self._eff_full.append((0, max(ext - 1, 0)))
+            self._eff_level[loop.loop_var] = len(self._eff_loops) - 1
+            self._trip_products.append(self._trip_products[-1] * ext)
+        self._eff_added.append(added)
+
         self._loop_stack.append(loop)
         self.features.max_loop_depth = max(self.features.max_loop_depth,
                                            len(self._loop_stack))
         self.visit(loop.body)
         self._loop_stack.pop()
+        if self._eff_added.pop():
+            self._eff_loops.pop()
+            self._eff_extents.pop()
+            self._eff_full.pop()
+            self._trip_products.pop()
+            self._eff_level.pop(loop.loop_var, None)
+            if loop.thread_tag:
+                self._active_tags.discard(loop.thread_tag)
 
 
 def extract_features(func_or_stmt) -> ProgramFeatures:

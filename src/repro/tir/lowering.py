@@ -438,6 +438,12 @@ class _Lowerer:
             # Thread-bound loops of enclosing stages (reached through region
             # offsets) also span the block for cooperatively-filled buffers.
             relax_ranges = dict(self._thread_ranges)
+        from ..te.expr import collect_vars
+
+        # Offset substitution: inner (and relaxed thread) vars pinned to
+        # zero, outer vars stay symbolic.  Fixed across dims and reads.
+        zero_map = {v: 0 for v in inner_set}
+        zero_map.update({v: 0 for v in relax_ranges})
         for dim in range(ndim):
             dim_offset: Optional[Expr] = None
             dim_extent = 1
@@ -445,8 +451,6 @@ class _Lowerer:
                 index_expr = substitute(read.indices[dim], value_map)
                 # Extent: inner vars span their ranges, everything else fixed.
                 ranges: Dict[Var, Interval] = {}
-                from ..te.expr import collect_vars
-
                 for var in collect_vars(index_expr):
                     if var in inner_set and var in leaf_ranges:
                         ranges[var] = leaf_ranges[var]
@@ -456,10 +460,6 @@ class _Lowerer:
                         ranges[var] = Interval(0, 0)
                 bounds = expr_bounds(index_expr, ranges)
                 extent = int(bounds.extent)
-                # Offset: inner (and relaxed thread) vars pinned to zero,
-                # outer vars stay symbolic.
-                zero_map = {v: 0 for v in inner_set}
-                zero_map.update({v: 0 for v in relax_ranges})
                 offset = simplify(substitute(index_expr, zero_map))
                 if dim_offset is None:
                     dim_offset = offset

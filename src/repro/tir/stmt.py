@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..te.expr import Call, Expr, ExprLike, IntImm, Var, as_expr
+from ..te.expr import Call, Expr, ExprLike, IntImm, Var, _dispatch, as_expr
 
 __all__ = [
     "Buffer",
@@ -140,14 +140,26 @@ class For(Stmt):
         self.body = body
         self.kind = kind
         self.thread_tag = thread_tag
+        self._extent_value = None
 
     def extent_value(self) -> int:
-        from ..te.expr import simplify
+        # Memoized: the extent expression is fixed at construction, and the
+        # analysis/lowering passes query it once per enclosing-loop walk.
+        # Symbolic extents memoize the message, not the exception instance,
+        # so repeated raises don't pin or race on a shared traceback.
+        cached = self._extent_value
+        if cached is None:
+            from ..te.expr import simplify
 
-        extent = simplify(self.extent)
-        if isinstance(extent, IntImm):
-            return extent.value
-        raise ValueError(f"Loop {self.loop_var} has symbolic extent {extent}")
+            extent = simplify(self.extent)
+            if isinstance(extent, IntImm):
+                cached = extent.value
+            else:
+                cached = f"Loop {self.loop_var} has symbolic extent {extent}"
+            self._extent_value = cached
+        if isinstance(cached, str):
+            raise ValueError(cached)
+        return cached
 
     def __repr__(self) -> str:
         tag = f" [{self.thread_tag}]" if self.thread_tag else ""
@@ -313,9 +325,9 @@ class StmtVisitor:
     """Read-only traversal over a statement tree."""
 
     def visit(self, stmt: Stmt) -> None:
-        method = getattr(self, f"visit_{type(stmt).__name__.lower()}", None)
+        method = _dispatch(self, stmt)
         if method is not None:
-            method(stmt)
+            method(self, stmt)
         else:
             self.generic_visit(stmt)
 

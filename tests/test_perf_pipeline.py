@@ -1,0 +1,390 @@
+"""Tests for the candidate-evaluation fast path (PR 3).
+
+Covers the shared lowering/featurisation LRU service on :class:`Task`, its
+transparency (same results with a warm cache as from a cold start), the
+vectorized cost models' bit-equality against their retained reference
+implementations, and the batch scoring APIs.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro import autotvm, tir
+from repro.autotvm import (
+    FEATURE_CACHE,
+    LOWERED_CACHE,
+    GradientBoostedTrees,
+    LocalMeasurer,
+    MeasureInput,
+    ModelBasedTuner,
+    RegressionTree,
+    clear_eval_caches,
+    configure_eval_caches,
+    eval_cache_stats,
+)
+from repro.autotvm.eval_cache import LRUCache
+from repro.graph import clear_timing_cache
+from repro.graph.ir import Graph, Node
+from repro.graph.op_timing import fallback_search, kernel_time, make_task_for_node
+from repro.graph.ops import OP_REGISTRY
+from repro.hardware import arm_cpu, cuda
+from repro.tir.analysis import FEATURE_NAMES
+
+
+def conv_graph(ci=16, hw=16, co=16, kernel=3, stride=1, padding=1):
+    data = Node("null", "data")
+    data.shape = (1, ci, hw, hw)
+    data.dtype = "float32"
+    weight = Node("null", "weight")
+    weight.shape = (co, ci, kernel, kernel)
+    weight.dtype = "float32"
+    conv = Node("conv2d", "conv", [data, weight],
+                {"strides": stride, "padding": padding})
+    conv.dtype = "float32"
+    conv.shape = OP_REGISTRY["conv2d"].infer_shape(
+        [data.shape, weight.shape], conv.attrs)
+    return Graph([conv])
+
+
+@pytest.fixture
+def fresh_caches():
+    clear_timing_cache()
+    yield
+    clear_timing_cache()
+
+
+@pytest.fixture
+def small_task(fresh_caches):
+    task, = autotvm.extract_tasks(conv_graph(), cuda())
+    return task
+
+
+# ---------------------------------------------------------------------------
+# The LRU cache itself
+# ---------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_put_get_and_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert len(cache) == 1 and "a" in cache
+
+    def test_evicts_one_least_recently_used_entry(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        cache.get("a")                   # refresh a; b is now the oldest
+        cache.put("d", "D")
+        assert "b" not in cache          # single-entry eviction, not a wipe
+        assert all(k in cache for k in "acd")
+        assert len(cache) == 3
+
+    def test_resize_and_disable(self):
+        cache = LRUCache(8)
+        for i in range(8):
+            cache.put(i, i)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.get(7) == 7         # newest entries survive
+        cache.resize(0)
+        cache.put("x", 1)
+        assert "x" not in cache          # maxsize 0 disables caching
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(64)
+
+        def worker(base):
+            for i in range(500):
+                cache.put((base, i % 80), i)
+                cache.get((base, (i * 7) % 80))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+
+
+# ---------------------------------------------------------------------------
+# Task-level memoized service
+# ---------------------------------------------------------------------------
+
+class TestTaskEvalCache:
+    def test_features_match_direct_lowering(self, small_task):
+        config = small_task.config_space.get(3)
+        direct = tir.extract_features(small_task.lower(config))
+        cached = small_task.features_of(3)
+        assert direct.to_vector() == cached.to_vector()
+        assert direct.total_flops == cached.total_flops
+
+    def test_second_read_is_a_hit(self, small_task):
+        small_task.features_of(5)
+        before = eval_cache_stats()["features"]["hits"]
+        small_task.features_of(5)
+        assert eval_cache_stats()["features"]["hits"] == before + 1
+
+    def test_shared_across_task_instances(self, small_task):
+        twin, = autotvm.extract_tasks(conv_graph(), cuda())
+        assert twin is not small_task and twin.name == small_task.name
+        small_task.features_of(2)
+        misses = eval_cache_stats()["features"]["misses"]
+        twin.features_of(2)              # same workload+target+index: a hit
+        assert eval_cache_stats()["features"]["misses"] == misses
+
+    def test_same_name_different_args_do_not_collide(self, fresh_caches):
+        from repro.autotvm import create_task
+        from repro.topi import nn as topi_nn
+        from repro.topi.schedules import gpu as gpu_sched
+        from repro import te
+
+        def matmul_template(cfg, m, n, k):
+            a = te.placeholder((m, k), name="A")
+            b = te.placeholder((k, n), name="B")
+            c = topi_nn.matmul(a, b)
+            return gpu_sched.matmul_gpu_template(cfg, a, b, c)
+
+        small = create_task("clash", matmul_template, (8, 8, 8), cuda())
+        large = create_task("clash", matmul_template, (64, 64, 64), cuda())
+        assert small.flop != large.flop
+        assert small.features_of(0).total_flops \
+            != large.features_of(0).total_flops
+
+    def test_cached_failure_traceback_does_not_grow(self, small_task):
+        original = small_task.template
+        small_task.template = lambda cfg, *args: (_ for _ in ()).throw(
+            RuntimeError("nope"))
+        try:
+            lengths = []
+            for _ in range(3):
+                try:
+                    small_task.features_of(9)
+                except RuntimeError as exc:
+                    depth = 0
+                    tb = exc.__traceback__
+                    while tb is not None:
+                        depth += 1
+                        tb = tb.tb_next
+                    lengths.append(depth)
+            assert len(set(lengths)) == 1, f"traceback grew: {lengths}"
+        finally:
+            small_task.template = original
+
+    def test_lowered_memoized(self, small_task):
+        func_a = small_task.lowered(1)
+        func_b = small_task.lowered(1)
+        assert func_a is func_b
+        assert isinstance(func_a, tir.LoweredFunc)
+
+    def test_flop_computed_once_and_stable(self, small_task):
+        flop_first = small_task.flop
+        misses = eval_cache_stats()["lowered"]["misses"]
+        for _ in range(10):
+            assert small_task.flop == flop_first
+        assert eval_cache_stats()["lowered"]["misses"] == misses
+        assert flop_first > 0
+
+    def test_failure_cached_and_replayed(self, small_task):
+        original = small_task.template
+
+        calls = {"n": 0}
+
+        def exploding(cfg, *args):
+            calls["n"] += 1
+            raise RuntimeError("no schedule for you")
+
+        small_task.template = exploding
+        try:
+            with pytest.raises(RuntimeError, match="no schedule for you"):
+                small_task.features_of(7)
+            with pytest.raises(RuntimeError, match="no schedule for you"):
+                small_task.features_of(7)
+            assert calls["n"] == 1       # the failing lowering ran only once
+        finally:
+            small_task.template = original
+
+    def test_configure_eval_caches(self, fresh_caches):
+        configure_eval_caches(features=10, lowered=5)
+        try:
+            assert FEATURE_CACHE.maxsize == 10
+            assert LOWERED_CACHE.maxsize == 5
+        finally:
+            configure_eval_caches(features=50_000, lowered=2_048)
+
+    def test_clear_shared_features_alias(self, small_task):
+        small_task.features_of(0)
+        assert len(FEATURE_CACHE) > 0
+        ModelBasedTuner.clear_shared_features()
+        assert len(FEATURE_CACHE) == 0 and len(LOWERED_CACHE) == 0
+
+
+# ---------------------------------------------------------------------------
+# Cache transparency: warm caches must never change results
+# ---------------------------------------------------------------------------
+
+class TestCacheTransparency:
+    def test_kernel_time_identical_cold_vs_warm(self, fresh_caches):
+        graph = conv_graph()
+        node = graph.op_nodes[-1]
+        target = cuda()
+        cold = kernel_time(node, target)
+        warm = kernel_time(node, target)                 # memoised estimate
+        clear_timing_cache()
+        recold = kernel_time(node, target)               # fully recomputed
+        assert cold == warm == recold
+
+    def test_fallback_search_identical_cold_vs_warm(self, fresh_caches):
+        graph = conv_graph()
+        node = graph.op_nodes[-1]
+        target = arm_cpu()
+        task = make_task_for_node(node, target)
+        first = fallback_search(task, target, n_random=12, climb_rounds=2, seed=3)
+        warm = fallback_search(task, target, n_random=12, climb_rounds=2, seed=3)
+        clear_timing_cache()
+        fresh_task = make_task_for_node(node, target)
+        fresh = fallback_search(fresh_task, target, n_random=12,
+                                climb_rounds=2, seed=3)
+        assert first == warm == fresh
+
+    def test_tuning_results_identical_cold_vs_warm(self, fresh_caches):
+        def run_session():
+            report = autotvm.autotune(conv_graph(), cuda(), trials=16,
+                                      tuner="model")
+            result, = report.results
+            return (result.best_config.index, tuple(result.curve),
+                    result.best_time)
+
+        cold = run_session()
+        warm = run_session()             # shared caches fully primed
+        clear_timing_cache()
+        recold = run_session()
+        assert cold == warm == recold
+
+    def test_measurer_results_identical_cold_vs_warm(self, small_task):
+        inputs = [MeasureInput(small_task, cfg)
+                  for cfg in small_task.config_space.sample(4)]
+        measurer = LocalMeasurer(number=2, seed=0)
+        cold = [(r.mean_time, r.error) for r in measurer.measure(inputs)]
+        warm = [(r.mean_time, r.error) for r in measurer.measure(inputs)]
+        clear_timing_cache()
+        recold = [(r.mean_time, r.error) for r in measurer.measure(inputs)]
+        assert cold == warm == recold
+
+
+# ---------------------------------------------------------------------------
+# Vectorized cost models vs retained references
+# ---------------------------------------------------------------------------
+
+class TestVectorizedCostModels:
+    @pytest.mark.parametrize("loss", ["rank", "reg"])
+    def test_gbt_bit_identical_to_reference(self, loss):
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            n = int(rng.integers(8, 120))
+            d = int(rng.integers(3, 48))
+            x = rng.normal(size=(n, d))
+            if trial % 2:
+                x = np.round(x * 2) / 2          # heavy ties
+            y = rng.normal(size=n) ** 2
+            fast = GradientBoostedTrees(num_rounds=10, loss=loss, seed=trial)
+            slow = GradientBoostedTrees(num_rounds=10, loss=loss, seed=trial,
+                                        reference=True)
+            fast.fit(x, y)
+            slow.fit(x, y)
+            queries = rng.normal(size=(64, d))
+            assert np.array_equal(fast.predict(queries), slow.predict(queries))
+            assert np.array_equal(fast.predict(x[0]), slow.predict(x[0]))
+
+    def test_tree_predict_matches_reference_walk(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(80, 12))
+        y = rng.normal(size=80)
+        tree = RegressionTree(max_depth=5).fit(x, y)
+        queries = rng.normal(size=(256, 12))
+        assert np.array_equal(tree.predict(queries),
+                              tree.predict_reference(queries))
+
+    def test_tree_structure_identical_to_reference_build(self):
+        rng = np.random.default_rng(9)
+        x = np.round(rng.normal(size=(60, 8)) * 2) / 2
+        y = rng.normal(size=60)
+        fast = RegressionTree(max_depth=4).fit(x, y)
+        slow = RegressionTree(max_depth=4, reference=True).fit(x, y)
+        assert fast.tree_ == slow.tree_
+
+    def test_rank_gradient_identical_to_reference(self):
+        rng = np.random.default_rng(2)
+        y = rng.normal(size=50) ** 2
+        pred = rng.normal(size=50)
+        fast = GradientBoostedTrees(seed=123)
+        slow = GradientBoostedTrees(seed=123, reference=True)
+        assert np.array_equal(fast._negative_gradient(y, pred),
+                              slow._negative_gradient_reference(y, pred))
+
+    def test_stacked_predict_matches_per_tree_loop(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(40, 10))
+        y = rng.normal(size=40) ** 2
+        model = GradientBoostedTrees(num_rounds=15, seed=0).fit(x, y)
+        queries = rng.normal(size=(128, 10))
+        stacked = model.predict(queries)
+        model._stacked = None            # force the per-tree fallback loop
+        per_tree = model.predict(queries)
+        assert np.array_equal(stacked, per_tree)
+
+
+# ---------------------------------------------------------------------------
+# Batch APIs and satellite fixes
+# ---------------------------------------------------------------------------
+
+class TestBatchScoring:
+    def test_estimate_batch_matches_scalar(self, small_task):
+        features = [small_task.features_of(i) for i in range(4)]
+        model = small_task.target.model
+        batch = model.estimate_batch(features)
+        scalar = [model.estimate(f) for f in features]
+        assert batch.tolist() == scalar
+
+    def test_estimate_batch_failures_score_inf(self, small_task):
+        features = small_task.features_of(0)
+        model = small_task.target.model
+        batch = model.estimate_batch([features, None])
+        assert math.isfinite(batch[0])
+        assert math.isinf(batch[1])
+
+    def test_failed_lowering_placeholder_uses_feature_schema(self, small_task):
+        tuner = ModelBasedTuner(small_task, seed=0)
+        original = small_task.template
+
+        def exploding(cfg, *args):
+            raise RuntimeError("boom")
+
+        small_task.template = exploding
+        try:
+            vector = tuner._features_of(0)
+        finally:
+            small_task.template = original
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert not vector.any()
+
+    def test_flat_index_matches_index_of(self, small_task):
+        space = small_task.config_space
+        for index in (0, 1, len(space) // 2, len(space) - 1):
+            knobs = space.knob_indices(index)
+            assert space.flat_index(knobs) == index
+            assert space.index_of(dict(zip(space.knob_names, knobs))) == index
+
+    def test_program_features_vector_memoized(self, small_task):
+        features = small_task.features_of(0)
+        vec_a = features.vector()
+        vec_b = features.vector()
+        assert vec_a is vec_b
+        assert not vec_a.flags.writeable
+        assert vec_a.tolist() == features.to_vector()
