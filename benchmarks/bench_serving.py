@@ -1,0 +1,219 @@
+"""Serving benchmark: throughput and latency vs ``max_batch`` (tracked per PR).
+
+Measures ``repro.serve`` on resnet-18/cuda over a pool of simulated GPUs in
+three modes and writes ``BENCH_serving.json`` next to this file:
+
+* **sequential** — one blocking client, one device, no engine: the seed-era
+  deployment pattern (one request finishes before the next starts).
+* **threaded** — the engine with ``max_batch=1``: concurrent requests spread
+  across the device pool but never coalesced.
+* **batched** — the engine with dynamic batching at several ``max_batch``
+  settings: requests coalesce along the batch axis and whole batches
+  round-robin across the pool.
+
+Throughput is reported in *simulated* time (per-batch kernel estimates — a
+batch costs what compiling the model at that batch size estimates, never the
+sum of per-request times) alongside host wall-clock observations.  Every
+request's output is checked to be bit-identical to a solo execution, and a
+determinism fingerprint over the timing-independent quantities (single/batch
+kernel estimates and an output digest) is recorded so behaviour changes are
+visible per commit.
+
+Usage::
+
+    python benchmarks/bench_serving.py             # full run (64 requests)
+    python benchmarks/bench_serving.py --smoke     # CI-sized, enforces the
+                                                   # >=3x acceptance bound
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.runtime import Executor, InferenceEngine
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+MODEL = "resnet-18"
+TARGET = "cuda"
+DEVICES = 4                    #: simulated GPU pool round-robined by the engine
+BATCH_SIZES = (2, 4, 8)
+COALESCE_TIMEOUT_MS = 250.0    #: generous window so batches fill deterministically
+
+
+def _requests(n: int, shape) -> list:
+    rng = np.random.default_rng(0)
+    return [rng.random(shape).astype("float32") for _ in range(n)]
+
+
+def run_sequential(module, inputs) -> tuple:
+    """One blocking client on one device; returns (row, reference outputs)."""
+    executor = Executor(module)
+    outputs = []
+    start = time.perf_counter()
+    for data in inputs:
+        outputs.append(executor.run({"data": data}).outputs[0])
+    wall = time.perf_counter() - start
+    n = len(inputs)
+    single = module.total_time
+    row = {
+        "mode": "sequential", "devices": 1, "max_batch": 1,
+        "requests": n,
+        "mean_batch_occupancy": 1.0,
+        "sim_throughput_rps": 1.0 / single,
+        "sim_latency_p50_ms": single * 1e3,
+        "sim_latency_p99_ms": single * 1e3,
+        "wall_throughput_rps": n / wall,
+        "wall_latency_p50_ms": wall / n * 1e3,
+        "wall_latency_p99_ms": wall / n * 1e3,
+    }
+    return row, outputs
+
+
+def run_engine_mode(module, inputs, mode: str, max_batch: int,
+                    reference) -> dict:
+    engine = InferenceEngine(module, devices=DEVICES, max_batch=max_batch,
+                             timeout_ms=COALESCE_TIMEOUT_MS)
+    try:
+        # Warm the batch cost model so the first batch doesn't pay the
+        # one-off estimation inside its wall-clock window.
+        engine.estimated_batch_time(max_batch)
+        results = engine.infer_many([{"data": data} for data in inputs],
+                                    timeout=600)
+    finally:
+        engine.shutdown()
+    bit_identical = all(np.array_equal(got[0], want)
+                        for got, want in zip(results, reference))
+    stats = engine.stats()
+    sim, wall = stats["simulated"], stats["wall"]
+    return {
+        "mode": mode, "devices": DEVICES, "max_batch": max_batch,
+        "requests": stats["requests"],
+        "batches": stats["batches"],
+        "batch_occupancy": stats["batch_occupancy"],
+        "mean_batch_occupancy": stats["mean_batch_occupancy"],
+        "bit_identical_outputs": bool(bit_identical),
+        "sim_throughput_rps": sim["throughput_rps"],
+        "sim_latency_p50_ms": sim["latency"]["p50_ms"],
+        "sim_latency_p99_ms": sim["latency"]["p99_ms"],
+        "wall_throughput_rps": wall["throughput_rps"],
+        "wall_latency_p50_ms": wall["latency"]["p50_ms"],
+        "wall_latency_p99_ms": wall["latency"]["p99_ms"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per mode (default 64; 32 with --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer requests, enforce the >=3x "
+                             "acceptance bound and the wall-clock budget")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="fail if the whole benchmark exceeds this many "
+                             "seconds (default 420 with --smoke)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="output JSON path; --smoke defaults to "
+                             "BENCH_serving_smoke.json so the tracked "
+                             "full-run numbers are not clobbered")
+    args = parser.parse_args(argv)
+    n_requests = args.requests or (32 if args.smoke else 64)
+    budget = args.budget or (420.0 if args.smoke else None)
+    output = args.output or (DEFAULT_OUTPUT.with_name("BENCH_serving_smoke.json")
+                             if args.smoke else DEFAULT_OUTPUT)
+
+    suite_start = time.perf_counter()
+    print(f"Compiling {MODEL} for {TARGET} ...")
+    module = repro.compile(MODEL, target=TARGET)
+    shape = next(spec.shape for spec in Executor(module).input_specs)
+    inputs = _requests(n_requests, shape)
+
+    print(f"sequential: {n_requests} requests on 1 device ...")
+    sequential, reference = run_sequential(module, inputs)
+    rows = [sequential]
+    print(f"  sim {sequential['sim_throughput_rps']:.0f} rps")
+
+    print(f"threaded:   {n_requests} requests, {DEVICES} devices, "
+          f"max_batch=1 ...")
+    rows.append(run_engine_mode(module, inputs, "threaded", 1, reference))
+    print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps")
+
+    for max_batch in BATCH_SIZES:
+        print(f"batched:    {n_requests} requests, {DEVICES} devices, "
+              f"max_batch={max_batch} ...")
+        rows.append(run_engine_mode(module, inputs, "batched", max_batch,
+                                    reference))
+        print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps, occupancy "
+              f"{rows[-1]['mean_batch_occupancy']:.2f}")
+
+    base = sequential["sim_throughput_rps"]
+    for row in rows:
+        row["sim_speedup_vs_sequential"] = row["sim_throughput_rps"] / base
+
+    # Timing-independent determinism fingerprint: kernel estimates at each
+    # batch size plus a digest of the first request's output.
+    batch_estimates = {"1": module.total_time}
+    probe = InferenceEngine(module, devices=1, max_batch=max(BATCH_SIZES))
+    try:
+        for size in BATCH_SIZES:
+            batch_estimates[str(size)] = probe.estimated_batch_time(size)
+    finally:
+        probe.shutdown()
+    digest = hashlib.sha256()
+    digest.update(reference[0].tobytes())
+    digest.update(json.dumps(batch_estimates, sort_keys=True).encode())
+    fingerprint = digest.hexdigest()
+
+    batched8 = next(r for r in rows
+                    if r["mode"] == "batched" and r["max_batch"] == 8)
+    acceptance = {
+        "criterion": "serve(max_batch=8) >= 3x sequential simulated "
+                     "throughput on resnet-18/gpu with bit-identical outputs",
+        "sim_speedup": batched8["sim_speedup_vs_sequential"],
+        "bit_identical_outputs": batched8["bit_identical_outputs"],
+        "passed": bool(batched8["sim_speedup_vs_sequential"] >= 3.0
+                       and batched8["bit_identical_outputs"]),
+    }
+    elapsed = time.perf_counter() - suite_start
+
+    results = {
+        "suite": "serving",
+        "model": MODEL,
+        "target": TARGET,
+        "requests_per_mode": n_requests,
+        "coalesce_timeout_ms": COALESCE_TIMEOUT_MS,
+        "smoke": bool(args.smoke),
+        "python": platform.python_version(),
+        "rows": rows,
+        "batch_time_estimates_s": batch_estimates,
+        "acceptance": acceptance,
+        "determinism_fingerprint": fingerprint,
+        "elapsed_s": elapsed,
+    }
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nWrote {output}")
+    print(f"batched max_batch=8: {acceptance['sim_speedup']:.2f}x sequential "
+          f"(bit-identical: {acceptance['bit_identical_outputs']}), "
+          f"elapsed {elapsed:.1f}s")
+
+    if not acceptance["passed"]:
+        print("FAIL: acceptance criterion not met", file=sys.stderr)
+        return 1
+    if budget is not None and elapsed > budget:
+        print(f"FAIL: exceeded wall-clock budget ({elapsed:.1f}s > "
+              f"{budget:.0f}s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,18 @@
 """Deploying one model across several back-ends (the paper's portability claim).
 
 Compiles MobileNet for the server GPU, the embedded CPU and the mobile GPU,
-compares the resulting latency against the corresponding vendor-library
-baseline for each back-end, and verifies the numerical output is identical
-everywhere (the functional semantics do not depend on the target).
+exports each build as a self-contained artifact and reloads it the way a
+deployment host would (no recompilation), then runs the stateless executor on
+the reloaded module.  Latency is compared against the corresponding
+vendor-library baseline for each back-end, and the numerical output is
+verified to be identical everywhere (the functional semantics do not depend
+on the target).
 
 Run:  python examples/deploy_multiple_backends.py
 """
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -14,21 +20,27 @@ import repro
 from repro.baselines import ACLSim, MXNetSim, TFLiteSim
 from repro.frontend import mobilenet
 from repro.hardware import arm_cpu, cuda, mali
+from repro.runtime import Executor
 
 
 def main() -> None:
     data = np.random.rand(1, 3, 224, 224).astype("float32")
     baselines = {"cuda": MXNetSim(), "arm_cpu": TFLiteSim(), "mali": ACLSim()}
     targets = {"cuda": cuda(), "arm_cpu": arm_cpu(), "mali": mali()}
+    artifact_dir = Path(tempfile.mkdtemp())
 
     outputs = {}
     print(f"{'target':<10s} {'TVM (ms)':>10s} {'baseline (ms)':>15s} {'speedup':>9s}")
     for name, target in targets.items():
-        lib = repro.compile(mobilenet(batch=1), target=target)
-        executor = lib.executor()
-        executor.set_input(**lib.params)
-        executor.run(data=data)
-        outputs[name] = executor.get_output(0).asnumpy()
+        # Compile once, ship the artifact, load it on the "deployment host".
+        compiled = repro.compile(mobilenet(batch=1), target=target)
+        artifact = artifact_dir / f"mobilenet-{name}.repro"
+        compiled.export(artifact)
+        lib = repro.load(artifact)
+        assert lib.total_time == compiled.total_time  # no recompilation
+
+        executor = Executor(lib)  # parameters are bound; inputs by name
+        outputs[name] = executor(data=data)[0].asnumpy()
 
         graph_b, _params_b, shapes_b = mobilenet(batch=1)
         baseline = baselines[name].run_estimate(graph_b, shapes_b)

@@ -28,14 +28,25 @@ first access.  The lazily resolved top-level attributes:
 ``TuningReport``     its result object (configs, curves, database)
 ``TuningOptions``    tuning-session configuration
 ``ApplyHistoryBest`` compile-with-tuned-configs context
+``load``             restore an exported module artifact (``repro.runtime``)
+``serve``            dynamic-batching inference engine over a module
+``Device``           execution device (``repro.runtime``), e.g. ``gpu:1``
+``Executor``         stateless thread-safe module executor
+``InferenceEngine``  the serving engine returned by ``repro.serve``
 ===================  ====================================================
 
-The canonical flow — compile, or tune then compile with history::
+The canonical flow — compile, deploy, serve::
 
     import repro
 
     module = repro.compile("resnet-18", target="cuda")
-    executor = module.executor()
+    outputs = repro.Executor(module)(data)
+
+    module.export("resnet18.tar")          # compile once ...
+    module = repro.load("resnet18.tar")    # ... deploy anywhere
+
+    with repro.serve(module, devices=2, max_batch=8) as engine:
+        result = engine.infer(data=data)
 
     report = repro.autotune("resnet-18", target="cuda", trials=64)
     with report.apply_history_best():
@@ -64,6 +75,11 @@ _LAZY_ATTRS = {
     "ApplyHistoryBest": ("repro.autotvm", "ApplyHistoryBest"),
     "TuningOptions": ("repro.autotvm", "TuningOptions"),
     "TuningReport": ("repro.autotvm", "TuningReport"),
+    "load": ("repro.runtime.artifact", "load_module"),
+    "serve": ("repro.runtime.serving", "serve"),
+    "Device": ("repro.runtime.ndarray", "Device"),
+    "Executor": ("repro.runtime.executor", "Executor"),
+    "InferenceEngine": ("repro.runtime.serving", "InferenceEngine"),
 }
 
 __all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -75,6 +91,10 @@ if TYPE_CHECKING:  # static importers see the real modules
                           autotune)
     from .compiler import (CompiledModule, PassContext, Sequential,
                            TimingInstrument, compile)
+    from .runtime.executor import Executor
+    from .runtime.ndarray import Device
+    from .runtime.serving import InferenceEngine, serve
+    from .runtime.artifact import load_module as load
 
 
 def __getattr__(name: str):

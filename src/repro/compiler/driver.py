@@ -112,7 +112,8 @@ def _generate_kernels(state: CompileState,
             for node in group.nodes if node is not group.master)
         total = master.time + fused_time + framework_overhead(node_target)
         kernels.append(CompiledKernel(group, total, node_target.name,
-                                      tuned=master.tuned))
+                                      tuned=master.tuned,
+                                      config_index=master.config_index))
     return kernels
 
 

@@ -3,9 +3,11 @@
 A :class:`CompiledModule` is the *single* object the new compilation pipeline
 hands back: optimized graph, per-group kernels, bound parameters, the static
 memory plan, and the per-pass instrumentation records gathered while the
-module was built.  It also knows how to persist itself (``save``/``load``)
-and how to construct its own executor (``executor``), so callers no longer
-juggle the legacy ``(graph, module, params)`` 3-tuple.
+module was built.  It also knows how to persist itself as a versioned
+artifact bundle (``export``, restored by ``repro.load``; ``save``/``load``
+are deprecation shims over the same format) and how to construct its own
+executor (``executor``), so callers no longer juggle the legacy
+``(graph, module, params)`` 3-tuple.
 
 This module deliberately has no eager intra-package imports: it sits below
 both :mod:`repro.graph` and :mod:`repro.runtime` in the import graph, which
@@ -25,7 +27,7 @@ if TYPE_CHECKING:  # imports for annotations only — see module docstring
     from ..graph.passes import FusedGroup, MemoryPlan
     from ..hardware.target import Target
     from ..runtime.graph_executor import GraphExecutor
-    from ..runtime.ndarray import Context
+    from ..runtime.ndarray import Device
     from .instruments import PassRecord
 
 __all__ = ["CompiledKernel", "CompiledModule"]
@@ -44,6 +46,9 @@ class CompiledKernel:
     device: str
     #: the master operator's schedule came from the tuning history
     tuned: bool = False
+    #: flat index of the schedule configuration used for the master operator
+    #: (tuned or fallback), recorded for artifact provenance
+    config_index: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -112,33 +117,56 @@ class CompiledModule:
         return "\n".join(lines)
 
     # ------------------------------------------------------------- deployment
-    def executor(self, ctx: Optional["Context"] = None) -> "GraphExecutor":
-        """Create a graph executor bound to this module in one step.
+    def executor(self, ctx: Optional["Device"] = None) -> "GraphExecutor":
+        """Create a (stateful, legacy-style) graph executor in one step.
 
         Replaces the two-step ``runtime.create(module, ctx)`` dance (which
-        still works) for the common deploy path.
+        still works).  New code wanting stateless, thread-safe execution
+        should construct :class:`repro.runtime.Executor` directly.
         """
         from ..runtime.graph_executor import create
 
         return create(self, ctx)
 
     # ------------------------------------------------------------- persistence
-    def save(self, path) -> str:
-        """Serialise the module (graph, kernels, params, plan) to ``path``.
+    def export(self, path) -> str:
+        """Write the module as a versioned, self-contained artifact bundle.
 
-        The artefact round-trips through :meth:`load`; simulated hardware
-        models are plain parameter objects so the full target travels with
-        the module.
+        The bundle (graph JSON + params + target spec + tuned-config
+        provenance + schema version) restores through ``repro.load`` with no
+        recompilation; see :mod:`repro.runtime.artifact` for the format.
         """
-        payload = {"format": _SAVE_FORMAT, "version": _SAVE_VERSION,
-                   "module": self}
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
-        return str(path)
+        from ..runtime.artifact import export_module
+
+        return export_module(self, path)
+
+    def save(self, path) -> str:
+        """Deprecated alias of :meth:`export` (now writes the versioned
+        artifact bundle instead of a pickle)."""
+        import warnings
+
+        warnings.warn(
+            "CompiledModule.save() is deprecated; use module.export(path) "
+            "and repro.load(path)", DeprecationWarning, stacklevel=2)
+        return self.export(path)
 
     @classmethod
     def load(cls, path) -> "CompiledModule":
-        """Load a module previously written by :meth:`save`."""
+        """Deprecated: use ``repro.load(path)``.
+
+        Reads the versioned artifact bundle; files written by the legacy
+        pickle-based ``save()`` of earlier releases still load here.
+        """
+        import warnings
+        import zipfile
+
+        warnings.warn(
+            "CompiledModule.load() is deprecated; use repro.load(path)",
+            DeprecationWarning, stacklevel=2)
+        if zipfile.is_zipfile(path):
+            from ..runtime.artifact import load_module
+
+            return load_module(path)
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         if not isinstance(payload, dict) or payload.get("format") != _SAVE_FORMAT:

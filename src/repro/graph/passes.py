@@ -24,7 +24,7 @@ from .ir import Graph, Node
 from .ops import OP_REGISTRY, OpPattern
 
 __all__ = ["FusedGroup", "fuse_ops", "fold_constants", "plan_memory",
-           "MemoryPlan", "alter_layout"]
+           "MemoryPlan", "alter_layout", "ensure_layout_transform_registered"]
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +239,21 @@ _PREFERRED_LAYOUT = {
 }
 
 
+def ensure_layout_transform_registered() -> None:
+    """Register the ``layout_transform`` operator on first use.
+
+    Called by :func:`alter_layout` and by the artifact loader, which may
+    deserialise a graph containing transform nodes before any layout pass ran
+    in this process.
+    """
+    if "layout_transform" not in OP_REGISTRY:
+        from .ops import register_op
+
+        register_op("layout_transform", OpPattern.INJECTIVE,
+                    lambda ins, attrs: tuple(ins[0]),
+                    lambda data, attrs: data)
+
+
 def alter_layout(graph: Graph, device_type: str) -> Tuple[Graph, int]:
     """Annotate operators with the back-end preferred data layout and insert
     ``layout_transform`` nodes between producers and consumers that disagree.
@@ -253,12 +268,7 @@ def alter_layout(graph: Graph, device_type: str) -> Tuple[Graph, int]:
                 node.attrs.setdefault("data_layout", "NCHW")
         return graph, 0
 
-    if "layout_transform" not in OP_REGISTRY:
-        from .ops import register_op
-
-        register_op("layout_transform", OpPattern.INJECTIVE,
-                    lambda ins, attrs: tuple(ins[0]),
-                    lambda data, attrs: data)
+    ensure_layout_transform_registered()
 
     # Insert transforms around convolution-like nodes only (the tensor-core
     # layout applies to their inputs/outputs).

@@ -9,8 +9,10 @@ from .target import (
     arm_cpu,
     create_target,
     cuda,
+    known_targets,
     mali,
     pynq_cpu,
+    target_from_spec,
     vdla,
 )
 from .vdla import (
@@ -41,10 +43,12 @@ __all__ = [
     "cortex_a9_params",
     "create_target",
     "cuda",
+    "known_targets",
     "mali",
     "mali_t860_params",
     "pynq_cpu",
     "pynq_vdla_params",
+    "target_from_spec",
     "titan_x_params",
     "vdla",
 ]

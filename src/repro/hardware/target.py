@@ -16,7 +16,8 @@ from .gpu import MobileGPU, ServerGPU, mali_t860_params, titan_x_params
 from .vdla import VDLAAccelerator, pynq_vdla_params
 
 __all__ = ["Target", "cuda", "arm_cpu", "pynq_cpu", "mali", "vdla",
-           "create_target", "SCHEDULE_PRIMITIVE_SUPPORT"]
+           "create_target", "known_targets", "target_from_spec",
+           "SCHEDULE_PRIMITIVE_SUPPORT"]
 
 
 #: Figure 6: which schedule primitives each back-end's schedules use.
@@ -74,6 +75,17 @@ class Target:
     def num_cores(self) -> int:
         return int(getattr(self.model.params, "num_cores", 1))
 
+    @property
+    def seed(self) -> int:
+        """Measurement-noise seed of the simulated device model."""
+        return int(getattr(self.model, "_seed", 0))
+
+    def spec(self) -> Dict[str, object]:
+        """A JSON-serialisable description sufficient to rebuild the target
+        (used by the module artifact format)."""
+        return {"name": self.name, "device_type": self.device_type,
+                "seed": self.seed}
+
     def __repr__(self) -> str:
         return f"Target({self.name})"
 
@@ -121,9 +133,54 @@ _FACTORIES = {
 }
 
 
+#: full canonical target names (``Target.name``) back to their factories, so
+#: names recorded in artifacts round-trip exactly (``llvm -device=arm_cpu
+#: -model=pynq`` must not degrade to the generic ``arm_cpu`` profile).
+_CANONICAL_NAMES = {
+    "cuda": cuda,
+    "opencl -device=mali": mali,
+    "llvm -device=arm_cpu": arm_cpu,
+    "llvm -device=arm_cpu -model=pynq": pynq_cpu,
+    "vdla": vdla,
+}
+
+
+def known_targets() -> Tuple[str, ...]:
+    """Short names plus canonical full names accepted by :func:`create_target`."""
+    return tuple(sorted(set(_FACTORIES) | set(_CANONICAL_NAMES)))
+
+
 def create_target(name: str, seed: int = 0) -> Target:
-    """Create a target from a short name (``cuda``, ``arm_cpu``, ``mali``, ``vdla``)."""
+    """Create a target from a short name (``cuda``, ``arm_cpu``, ``mali``,
+    ``vdla``) or a canonical full name such as ``llvm -device=arm_cpu``."""
+    if name in _CANONICAL_NAMES:
+        return _CANONICAL_NAMES[name](seed)
     key = name.split()[0].lower()
     if key not in _FACTORIES:
         raise ValueError(f"Unknown target {name!r}; expected one of {sorted(_FACTORIES)}")
     return _FACTORIES[key](seed)
+
+
+def target_from_spec(spec: Dict[str, object]) -> Target:
+    """Rebuild a target from :meth:`Target.spec`, verifying the device kind.
+
+    Raises :class:`ValueError` with the known target names when the recorded
+    target does not exist in this build, or when the rebuilt device kind
+    disagrees with the recorded one (a target mismatch, e.g. an artifact from
+    a build where the name meant different hardware).
+    """
+    name = spec.get("name")
+    if not isinstance(name, str):
+        raise ValueError(f"Invalid target spec {spec!r}: missing 'name'")
+    try:
+        target = create_target(name, seed=int(spec.get("seed", 0)))
+    except ValueError:
+        raise ValueError(
+            f"Target {name!r} is not known to this build; known targets: "
+            f"{list(known_targets())}") from None
+    recorded = spec.get("device_type")
+    if recorded is not None and recorded != target.device_type:
+        raise ValueError(
+            f"Target mismatch: the artifact records {name!r} as device type "
+            f"{recorded!r} but this build maps it to {target.device_type!r}")
+    return target

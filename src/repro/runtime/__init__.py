@@ -1,12 +1,27 @@
-"""Deployable runtime: NDArray, graph executor and the RPC device pool."""
+"""Deployable runtime: NDArray/devices, executors, artifacts, serving, RPC."""
 
+from .artifact import ArtifactError, export_module, graph_from_json, graph_to_json, load_module
+from .executor import ExecutionResult, Executor, InputSpec
 from .graph_executor import GraphExecutor, create
-from .ndarray import Context, NDArray, array, cpu, empty, gpu, mali, vdla
+from .ndarray import (DEVICE_TYPES, Context, Device, NDArray, array, cpu,
+                      device, empty, gpu, mali, vdla)
 from .rpc import RPCServer, RPCSession, Tracker, connect_tracker
+from .serving import InferenceEngine, InferenceFuture, serve
+
+#: ``repro.load`` — restore an exported module artifact without recompiling
+load = load_module
 
 __all__ = [
+    "ArtifactError",
     "Context",
+    "DEVICE_TYPES",
+    "Device",
+    "ExecutionResult",
+    "Executor",
     "GraphExecutor",
+    "InferenceEngine",
+    "InferenceFuture",
+    "InputSpec",
     "NDArray",
     "RPCServer",
     "RPCSession",
@@ -15,8 +30,15 @@ __all__ = [
     "connect_tracker",
     "cpu",
     "create",
+    "device",
     "empty",
+    "export_module",
     "gpu",
+    "graph_from_json",
+    "graph_to_json",
+    "load",
+    "load_module",
     "mali",
+    "serve",
     "vdla",
 ]

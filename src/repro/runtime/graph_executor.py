@@ -1,8 +1,12 @@
 """Graph runtime (the ``runtime.create`` / ``module.run`` API of Section 2).
 
-Executes a compiled module: functional results come from the NumPy kernels,
-while the reported latency is the sum of the per-kernel estimates produced by
-the simulated target during compilation (plus runtime dispatch overhead).
+:class:`GraphExecutor` is the seed-era stateful ``set_input`` / ``run`` /
+``get_output`` interface, kept as a compatibility wrapper over the stateless
+:class:`~repro.runtime.executor.Executor`: functional results come from the
+NumPy kernels, while the reported latency is the sum of the per-kernel
+estimates produced by the simulated target during compilation (plus runtime
+dispatch overhead).  New code should use :class:`Executor` directly (or
+``module.executor()``), which is thread-safe and validates inputs up front.
 """
 
 from __future__ import annotations
@@ -12,17 +16,27 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..compiler.module import CompiledModule
-from .ndarray import Context, NDArray, cpu
+from .executor import Executor
+from .ndarray import Device, NDArray, cpu
 
 __all__ = ["GraphExecutor", "create"]
 
 
 class GraphExecutor:
-    """Executes a :class:`~repro.compiler.module.CompiledModule`."""
+    """Executes a :class:`~repro.compiler.module.CompiledModule`.
 
-    def __init__(self, module: CompiledModule, ctx: Optional[Context] = None):
+    Stateful compatibility interface; one instance must not be shared across
+    threads (use :class:`~repro.runtime.executor.Executor` for that).  Module
+    parameters are never aliased into the live tensor map — they enter as
+    read-only views, so in-place mutation of a tensor obtained from
+    :meth:`get_node_output` raises instead of corrupting the module's weights
+    across runs.
+    """
+
+    def __init__(self, module: CompiledModule, ctx: Optional[Device] = None):
         self.module = module
         self.ctx = ctx or cpu()
+        self._executor = Executor(module, self.ctx)
         self._inputs: Dict[str, np.ndarray] = {}
         self._tensors: Dict[str, np.ndarray] = {}
         self._last_run_time: float = 0.0
@@ -47,23 +61,10 @@ class GraphExecutor:
         """Execute the whole graph once."""
         for name, value in inputs.items():
             self._inputs[name] = self._as_numpy(value)
-        tensors: Dict[str, np.ndarray] = {}
-        for node in self.module.graph.input_nodes:
-            if node.name in self._inputs:
-                tensors[node.name] = self._inputs[node.name]
-            elif node.name in self.module.params:
-                tensors[node.name] = self.module.params[node.name]
-            else:
-                raise ValueError(f"Graph input {node.name!r} has not been set")
-        total_time = 0.0
-        per_kernel: List[Tuple[str, float]] = []
-        for kernel in self.module.kernels:
-            kernel.run(tensors)
-            total_time += kernel.time_seconds
-            per_kernel.append((kernel.name, kernel.time_seconds))
-        self._tensors = tensors
-        self._last_run_time = total_time
-        self._per_kernel_times = per_kernel
+        result = self._executor._execute(self._inputs)
+        self._tensors = result.tensors
+        self._last_run_time = result.total_time
+        self._per_kernel_times = result.per_kernel
 
     # ------------------------------------------------------------------ outputs
     def get_output(self, index: int, out: Optional[NDArray] = None) -> NDArray:
@@ -95,6 +96,6 @@ class GraphExecutor:
         return float(np.mean(times))
 
 
-def create(module: CompiledModule, ctx: Optional[Context] = None) -> GraphExecutor:
+def create(module: CompiledModule, ctx: Optional[Device] = None) -> GraphExecutor:
     """Create a graph executor (``runtime.create(graph, lib, ctx)`` in the paper)."""
     return GraphExecutor(module, ctx)

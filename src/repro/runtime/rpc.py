@@ -57,6 +57,12 @@ class RPCServer:
             raise RuntimeError(f"remote execution failed: {result.error}")
         return list(result.times)
 
+    def execute(self, fn, *args, **kwargs):
+        """Run an arbitrary procedure on this device host, counting it as one
+        remote request (the serving engine runs its batches through this)."""
+        self.request_count += 1
+        return fn(*args, **kwargs)
+
 
 class RPCSession:
     """A client's lease on one remote device."""
@@ -71,6 +77,12 @@ class RPCSession:
 
     def run_timed(self, payload, number: int = 3) -> List[float]:
         return self.server.run_timed(payload, number=number)
+
+    def execute(self, fn, *args, **kwargs):
+        """Run a procedure under this lease (exclusive use of the device)."""
+        if self._released:
+            raise RuntimeError("RPCSession has been released")
+        return self.server.execute(fn, *args, **kwargs)
 
     def release(self) -> None:
         if not self._released:

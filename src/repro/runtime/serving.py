@@ -1,0 +1,513 @@
+"""Dynamic-batching inference serving (``repro.serve``).
+
+The paper's end-to-end claim is compile-once, serve-anywhere; this module
+adds the serving half: :func:`serve` turns a compiled module (or an exported
+artifact path) into an :class:`InferenceEngine` that
+
+* queues concurrent requests from many client threads,
+* coalesces them along the graph's batch axis with dynamic batching
+  (``max_batch`` requests per batch, waiting at most ``timeout_ms`` for the
+  batch to fill),
+* round-robins the batches across a pool of per-device
+  :class:`~repro.runtime.executor.Executor` workers (multi-GPU or
+  heterogeneous; workers can hold leases on a
+  :class:`~repro.runtime.rpc.Tracker` device pool), and
+* reports structured throughput / latency / batch-occupancy statistics.
+
+Latency accounting is simulated-consistent: a coalesced batch costs the
+per-batch kernel estimates of the batched workload (what compiling the model
+at that batch size would report), never the sum of per-request times.
+Functional outputs, however, are computed per request on the native-batch
+kernels so every request's result is bit-identical to a solo execution (the
+NumPy BLAS kernels are not bitwise batch-invariant).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..compiler.module import CompiledModule
+from .executor import Executor
+from .ndarray import Device, DeviceLike, device as as_device
+
+__all__ = ["serve", "InferenceEngine", "InferenceFuture"]
+
+_SHUTDOWN = object()
+
+
+# ---------------------------------------------------------------------------
+# Batch cost model
+# ---------------------------------------------------------------------------
+
+class _BatchCostModel:
+    """Simulated per-batch latency of the module at coalesced batch sizes.
+
+    For the module's native batch size the recorded kernel times are used
+    verbatim (including tuned provenance).  Larger coalesced batches are
+    re-estimated by cloning the optimized graph, scaling the batch axis and
+    asking the operator-level cost model for each fused kernel — i.e. exactly
+    the per-batch estimate a compile at that batch size would produce (with
+    the untuned fallback heuristic).  Results are memoised per batch size.
+    """
+
+    def __init__(self, module: CompiledModule, data_inputs: Sequence[str],
+                 native_rows: int):
+        from .artifact import graph_to_json
+
+        self.module = module
+        self._data_inputs = set(data_inputs)
+        self.native_rows = native_rows
+        self._graph_json = graph_to_json(module.graph)
+        self._lock = threading.Lock()
+        self._cache: Dict[int, Tuple[float, List[Tuple[str, float]]]] = {
+            native_rows: (module.total_time,
+                          [(k.name, k.time_seconds) for k in module.kernels]),
+        }
+        self._targets = {module.target.name: module.target}
+
+    def _target_for(self, name: str):
+        from ..hardware.target import create_target
+
+        if name not in self._targets:
+            self._targets[name] = create_target(name,
+                                                seed=self.module.target.seed)
+        return self._targets[name]
+
+    def times_for(self, rows: int) -> Tuple[float, List[Tuple[str, float]]]:
+        """``(total_seconds, [(kernel name, seconds)])`` at ``rows`` total
+        batch rows across the coalesced requests."""
+        with self._lock:
+            if rows in self._cache:
+                return self._cache[rows]
+        total, per_kernel = self._estimate(rows)
+        with self._lock:
+            self._cache[rows] = (total, per_kernel)
+        return total, per_kernel
+
+    def _estimate(self, rows: int) -> Tuple[float, List[Tuple[str, float]]]:
+        from ..compiler.driver import framework_overhead
+        from ..graph.op_timing import kernel_time
+        from .artifact import graph_from_json
+
+        scale = rows // self.native_rows
+        clone = graph_from_json(self._graph_json)
+        for node in clone.input_nodes:
+            if node.name in self._data_inputs:
+                node.shape = (node.shape[0] * scale,) + tuple(node.shape[1:])
+        clone.infer_shapes({})
+        nodes_by_name = {node.name: node for node in clone.nodes}
+
+        per_kernel: List[Tuple[str, float]] = []
+        total = 0.0
+        for kernel in self.module.kernels:
+            target = self._target_for(kernel.device)
+            master = nodes_by_name[kernel.group.master.name]
+            seconds = kernel_time(master, target, fused=False).time
+            for member in kernel.group.nodes:
+                if member.name != master.name:
+                    seconds += kernel_time(nodes_by_name[member.name], target,
+                                           fused=True).time
+            seconds += framework_overhead(target)
+            per_kernel.append((kernel.name, seconds))
+            total += seconds
+        return total, per_kernel
+
+
+# ---------------------------------------------------------------------------
+# Requests and futures
+# ---------------------------------------------------------------------------
+
+class InferenceFuture:
+    """Handle to one submitted request; resolves to the request's outputs."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._outputs: Optional[List[np.ndarray]] = None
+        self._error: Optional[BaseException] = None
+        #: filled at completion: simulated seconds of the batch that served
+        #: this request, its size in requests, and observed wall latency
+        self.simulated_latency: Optional[float] = None
+        self.batch_size: Optional[int] = None
+        self.wall_latency: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> List[np.ndarray]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("Inference request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._outputs
+
+    # -- engine side -----------------------------------------------------------
+    def _resolve(self, outputs: List[np.ndarray]) -> None:
+        self._outputs = outputs
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Request:
+    __slots__ = ("inputs", "future", "enqueued_at")
+
+    def __init__(self, inputs: Dict[str, np.ndarray]):
+        self.inputs = inputs
+        self.future = InferenceFuture()
+        self.enqueued_at = time.monotonic()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class InferenceEngine:
+    """Queueing, dynamically batching, multi-device inference engine.
+
+    Create one with :func:`serve`; submit work with :meth:`infer` (blocking)
+    or :meth:`submit` (returns an :class:`InferenceFuture`); inspect
+    :meth:`stats`; stop with :meth:`shutdown` or by using the engine as a
+    context manager.
+    """
+
+    def __init__(self, module: CompiledModule, *,
+                 devices: Union[None, int, Sequence[DeviceLike]] = None,
+                 max_batch: int = 8, timeout_ms: float = 2.0,
+                 tracker=None, rpc_key: Optional[str] = None,
+                 lease_timeout: float = 10.0):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.module = module
+        self.devices = self._resolve_devices(module, devices)
+        self.timeout_s = max(timeout_ms, 0.0) / 1000.0
+
+        reference = Executor(module, self.devices[0])
+        self._reference = reference
+        specs = reference.input_specs
+        batchable = (bool(specs)
+                     and all(s.shape and len(s.shape) >= 1 for s in specs)
+                     and len({s.shape[0] for s in specs}) == 1
+                     and specs[0].shape[0] >= 1)
+        if not batchable and max_batch > 1:
+            raise ValueError(
+                "Dynamic batching needs every graph data input to share one "
+                "leading batch axis; this module's inputs are "
+                f"[{reference.describe_inputs()}] — serve with max_batch=1")
+        self.max_batch = max_batch
+        self.native_batch = specs[0].shape[0] if batchable else 1
+        self._cost = _BatchCostModel(module, [s.name for s in specs],
+                                     self.native_batch if batchable else 1)
+
+        # Optional RPC leases: one exclusive device lease per worker.
+        self._sessions = []
+        if tracker is not None:
+            if rpc_key is None:
+                raise ValueError("serve(tracker=...) also needs rpc_key= (the "
+                                 "device key registered with the tracker)")
+            try:
+                for _ in self.devices:
+                    self._sessions.append(
+                        tracker.request(rpc_key, timeout=lease_timeout))
+            except Exception:
+                for session in self._sessions:
+                    session.release()
+                raise
+
+        self._executors = [Executor(module, dev) for dev in self.devices]
+        self._requests: "queue.Queue" = queue.Queue()
+        self._worker_queues = [queue.Queue() for _ in self._executors]
+
+        # -- statistics (guarded by _stats_lock) -------------------------------
+        self._stats_lock = threading.Lock()
+        self._n_requests = 0
+        self._n_batches = 0
+        self._occupancy: Dict[int, int] = {}
+        self._wall_latencies: List[float] = []
+        self._sim_latencies: List[float] = []
+        self._device_busy = [0.0 for _ in self._executors]
+        self._started_at = time.monotonic()
+        self._stopped_at: Optional[float] = None
+
+        self._closed = False
+        #: orders submit() puts against the shutdown sentinel, so no request
+        #: can land behind the sentinel and silently never resolve
+        self._submit_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(i,), daemon=True,
+                             name=f"repro-serve-worker-{self.devices[i]}")
+            for i in range(len(self._executors))]
+        for worker in self._workers:
+            worker.start()
+        self._batcher = threading.Thread(target=self._batcher_loop,
+                                         daemon=True, name="repro-serve-batcher")
+        self._batcher.start()
+
+    # ------------------------------------------------------------------ setup
+    @staticmethod
+    def _resolve_devices(module: CompiledModule,
+                         devices: Union[None, int, Sequence[DeviceLike]]
+                         ) -> List[Device]:
+        kind = module.target.device_type
+        if devices is None:
+            return [Device(kind, 0)]
+        if isinstance(devices, int):
+            if devices < 1:
+                raise ValueError(f"devices must be >= 1, got {devices}")
+            return [Device(kind, index) for index in range(devices)]
+        resolved = [as_device(dev) for dev in devices]
+        if not resolved:
+            raise ValueError("devices must not be empty")
+        return resolved
+
+    # ------------------------------------------------------------------ client API
+    def submit(self, inputs: Optional[Dict[str, np.ndarray]] = None,
+               **named) -> InferenceFuture:
+        """Enqueue one request; returns a future resolving to the outputs
+        (a list of NumPy arrays, one per graph output)."""
+        if self._closed:
+            raise RuntimeError("InferenceEngine has been shut down")
+        merged = dict(inputs or {})
+        merged.update(named)
+        # Validate in the caller's thread so bad requests fail fast and never
+        # poison a batch.  Inputs are copied: the batch executes later on a
+        # worker thread, and a caller reusing its buffer must not corrupt an
+        # in-flight request.
+        validated = self._reference._validate(merged)
+        for name, value in validated.items():
+            validated[name] = np.array(self._reference._as_numpy(value))
+        for spec in self._reference.input_specs:
+            value = validated[spec.name]
+            if spec.shape is not None and tuple(value.shape) != spec.shape:
+                raise ValueError(
+                    f"Input {spec.name!r} has shape {tuple(value.shape)}, "
+                    f"expected {spec.shape} (one native-batch request); "
+                    f"expected inputs: {self._reference.describe_inputs()}")
+        request = _Request(validated)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("InferenceEngine has been shut down")
+            self._requests.put(request)
+        return request.future
+
+    def infer(self, inputs: Optional[Dict[str, np.ndarray]] = None,
+              timeout: Optional[float] = None, **named) -> List[np.ndarray]:
+        """Blocking inference: submit one request and wait for its outputs."""
+        return self.submit(inputs, **named).result(timeout)
+
+    def infer_many(self, requests: Sequence[Dict[str, np.ndarray]],
+                   timeout: Optional[float] = None) -> List[List[np.ndarray]]:
+        """Submit many requests at once (letting them coalesce) and collect
+        all results in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------ batching
+    def _batcher_loop(self) -> None:
+        while True:
+            item = self._requests.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            deadline = time.monotonic() + self.timeout_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._requests.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._dispatch(batch)
+            if stop:
+                break
+        for worker_queue in self._worker_queues:
+            worker_queue.put(_SHUTDOWN)
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        with self._stats_lock:
+            index = self._n_batches % len(self._worker_queues)
+            self._n_batches += 1
+            self._occupancy[len(batch)] = self._occupancy.get(len(batch), 0) + 1
+        self._worker_queues[index].put(batch)
+
+    # ------------------------------------------------------------------ workers
+    def _worker_loop(self, index: int) -> None:
+        worker_queue = self._worker_queues[index]
+        try:
+            while True:
+                batch = worker_queue.get()
+                if batch is _SHUTDOWN:
+                    break
+                try:
+                    if self._sessions:
+                        self._sessions[index].execute(self._run_batch, index,
+                                                      batch)
+                    else:
+                        self._run_batch(index, batch)
+                except Exception as exc:
+                    for request in batch:
+                        if not request.future.done():
+                            request.future._reject(exc)
+        finally:
+            # The worker owns its device lease: release only once no more
+            # batches can reach it, so a shutdown(wait=False) can never yank
+            # the session out from under a queued batch.
+            if self._sessions:
+                self._sessions[index].release()
+
+    def _run_batch(self, index: int, batch: List[_Request]) -> None:
+        executor = self._executors[index]
+        rows = len(batch) * self.native_batch
+        try:
+            batch_time, _per_kernel = self._cost.times_for(rows)
+        except Exception as exc:
+            for request in batch:
+                request.future._reject(exc)
+            return
+        wall_latencies = []
+        for request in batch:
+            try:
+                result = executor._execute(request.inputs)
+            except Exception as exc:
+                request.future._reject(exc)
+                continue
+            future = request.future
+            future.simulated_latency = batch_time
+            future.batch_size = len(batch)
+            future.wall_latency = time.monotonic() - request.enqueued_at
+            wall_latencies.append(future.wall_latency)
+            future._resolve(result.outputs)
+        with self._stats_lock:
+            self._n_requests += len(batch)
+            self._device_busy[index] += batch_time
+            self._sim_latencies.extend([batch_time] * len(batch))
+            self._wall_latencies.extend(wall_latencies)
+
+    # ------------------------------------------------------------------ stats
+    def estimated_batch_time(self, n_requests: int) -> float:
+        """Simulated seconds of one coalesced batch of ``n_requests``."""
+        return self._cost.times_for(n_requests * self.native_batch)[0]
+
+    @staticmethod
+    def _percentiles(samples: List[float]) -> Dict[str, float]:
+        if not samples:
+            return {"p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+        data = np.asarray(samples)
+        return {"p50_ms": float(np.percentile(data, 50) * 1e3),
+                "p99_ms": float(np.percentile(data, 99) * 1e3),
+                "mean_ms": float(np.mean(data) * 1e3)}
+
+    def stats(self) -> Dict[str, object]:
+        """Structured serving statistics.
+
+        ``simulated`` timings come from the per-batch kernel estimates (the
+        engine's simulated clock: each device's busy time is the sum of its
+        batch times; the makespan is the busiest device); ``wall`` timings
+        are host wall-clock observations of this Python process.
+        """
+        with self._stats_lock:
+            requests = self._n_requests
+            batches = self._n_batches
+            occupancy = dict(sorted(self._occupancy.items()))
+            busy = list(self._device_busy)
+            wall = list(self._wall_latencies)
+            sim = list(self._sim_latencies)
+            end = self._stopped_at or time.monotonic()
+            duration = max(end - self._started_at, 1e-12)
+        makespan = max(busy) if busy else 0.0
+        mean_occupancy = (sum(size * count for size, count in occupancy.items())
+                          / batches) if batches else 0.0
+        return {
+            "requests": requests,
+            "batches": batches,
+            "devices": [str(dev) for dev in self.devices],
+            "max_batch": self.max_batch,
+            "native_batch": self.native_batch,
+            "batch_occupancy": occupancy,
+            "mean_batch_occupancy": mean_occupancy,
+            "simulated": {
+                "busy_seconds_per_device": {str(dev): seconds for dev, seconds
+                                            in zip(self.devices, busy)},
+                "makespan_seconds": makespan,
+                "throughput_rps": requests / makespan if makespan else 0.0,
+                "latency": self._percentiles(sim),
+            },
+            "wall": {
+                "duration_seconds": duration,
+                "throughput_rps": requests / duration,
+                "latency": self._percentiles(wall),
+            },
+        }
+
+    # ------------------------------------------------------------------ lifecycle
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests, drain the queues and stop the workers.
+
+        Already-enqueued requests are still served.  Each worker releases
+        its tracker lease (if any) as it exits; with ``wait=False`` that
+        happens asynchronously once the queues drain.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._requests.put(_SHUTDOWN)
+        if wait:
+            self._batcher.join()
+            for worker in self._workers:
+                worker.join()
+        with self._stats_lock:
+            self._stopped_at = time.monotonic()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(module_or_path: Union[CompiledModule, str], *,
+          devices: Union[None, int, Sequence[DeviceLike]] = None,
+          max_batch: int = 8, timeout_ms: float = 2.0,
+          tracker=None, rpc_key: Optional[str] = None) -> InferenceEngine:
+    """Start an inference engine over a compiled module or artifact path.
+
+    Parameters
+    ----------
+    module_or_path:
+        A :class:`CompiledModule`, or the path of an artifact bundle written
+        by ``module.export(path)`` (loaded with no recompilation).
+    devices:
+        Device pool to round-robin batches across: a count (``2`` means
+        ``gpu:0`` and ``gpu:1`` for a GPU module), an explicit list of
+        devices / specs (``["gpu:0", "gpu:1"]``), or ``None`` for one device.
+    max_batch / timeout_ms:
+        Dynamic batching knobs: coalesce up to ``max_batch`` requests,
+        waiting at most ``timeout_ms`` after the first request for the batch
+        to fill.
+    tracker / rpc_key:
+        Lease each worker's device exclusively from an
+        :class:`~repro.runtime.rpc.Tracker` pool (the paper's remote device
+        pool), releasing the leases on shutdown.
+    """
+    if isinstance(module_or_path, CompiledModule):
+        module = module_or_path
+    else:
+        from .artifact import load_module
+
+        module = load_module(module_or_path)
+    return InferenceEngine(module, devices=devices, max_batch=max_batch,
+                           timeout_ms=timeout_ms, tracker=tracker,
+                           rpc_key=rpc_key)

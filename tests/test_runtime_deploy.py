@@ -1,0 +1,358 @@
+"""Tests for the deployable runtime API: devices, the stateless Executor,
+module artifacts (export / repro.load) and the legacy-shim behaviour."""
+
+import threading
+import zipfile
+
+import numpy as np
+import pytest
+
+import repro
+from repro import runtime
+from repro.frontend import ModelBuilder, resnet18
+from repro.hardware import arm_cpu, create_target, cuda, vdla
+from repro.runtime import (ArtifactError, Context, Device, Executor, NDArray,
+                           device, load_module)
+from repro.runtime.artifact import graph_from_json, graph_to_json
+
+
+def _small_cnn():
+    b = ModelBuilder("small", seed=0)
+    data = b.input("data", (1, 3, 16, 16))
+    net = b.relu(b.batch_norm(b.conv2d(data, 8, 3, 1, 1, name="conv0")))
+    net = b.max_pool2d(net, 2, 2)
+    net = b.flatten(net)
+    net = b.softmax(b.dense(net, 10, "fc"))
+    graph, params = b.finalize(net)
+    return graph, params, {"data": (1, 3, 16, 16)}
+
+
+@pytest.fixture(scope="module")
+def cnn_module():
+    return repro.compile(_small_cnn(), target=cuda())
+
+
+@pytest.fixture()
+def cnn_input():
+    return np.random.default_rng(7).random((1, 3, 16, 16)).astype("float32")
+
+
+# ---------------------------------------------------------------------------
+# Device abstraction
+# ---------------------------------------------------------------------------
+
+class TestDevice:
+    def test_parse_forms(self):
+        assert device("gpu") == Device("gpu", 0)
+        assert device("gpu:1") == Device("gpu", 1)
+        assert device("cpu:3") == Device("cpu", 3)
+        dev = Device("mali", 2)
+        assert device(dev) is dev
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="tpu"):
+            device("tpu:0")
+        with pytest.raises(ValueError, match="index"):
+            device("gpu:one")
+        with pytest.raises(TypeError):
+            device(3)
+        with pytest.raises(ValueError):
+            Device("gpu", -1)
+
+    def test_context_is_device_alias(self):
+        # The seed-era name keeps working and compares equal.
+        assert Context is Device
+        assert runtime.gpu(1) == Device("gpu", 1)
+        assert repr(Device("gpu", 1)) == "gpu:1"
+        assert hash(Device("cpu", 0)) == hash(runtime.cpu())
+
+    def test_seed_era_ctx_keyword_still_accepted(self):
+        data = np.zeros((2, 2), "float32")
+        assert runtime.array(data, ctx=runtime.gpu(0)).device == Device("gpu", 0)
+        assert NDArray(data, ctx=runtime.cpu(1)).device == Device("cpu", 1)
+        assert runtime.empty((2, 2), ctx=runtime.gpu(2)).device == Device("gpu", 2)
+
+    def test_ndarray_device_and_cross_device_copyto(self):
+        data = np.random.default_rng(0).random((2, 3)).astype("float32")
+        array = runtime.array(data, runtime.gpu(0))
+        assert array.device == Device("gpu", 0)
+        assert array.ctx == array.device  # deprecated alias
+        moved = array.copyto("cpu:1")
+        assert isinstance(moved, NDArray)
+        assert moved.device == Device("cpu", 1)
+        np.testing.assert_array_equal(moved.asnumpy(), data)
+        # in-place copy into an existing array still works
+        out = runtime.empty((2, 3))
+        array.copyto(out)
+        np.testing.assert_array_equal(out.asnumpy(), data)
+
+
+# ---------------------------------------------------------------------------
+# Stateless Executor
+# ---------------------------------------------------------------------------
+
+class TestExecutor:
+    def test_call_forms_agree(self, cnn_module, cnn_input):
+        executor = Executor(cnn_module)
+        by_dict = executor({"data": cnn_input})
+        by_pos = executor(cnn_input)
+        by_kw = executor(data=cnn_input)
+        assert isinstance(by_dict, list) and len(by_dict) == 1
+        assert by_dict[0].device == Device("gpu", 0)
+        np.testing.assert_array_equal(by_dict[0].asnumpy(), by_pos[0].asnumpy())
+        np.testing.assert_array_equal(by_dict[0].asnumpy(), by_kw[0].asnumpy())
+
+    def test_matches_graph_executor(self, cnn_module, cnn_input):
+        legacy = cnn_module.executor()
+        legacy.set_input(**cnn_module.params)
+        legacy.run(data=cnn_input)
+        stateless = Executor(cnn_module)(cnn_input)
+        np.testing.assert_array_equal(legacy.get_output(0).asnumpy(),
+                                      stateless[0].asnumpy())
+
+    def test_missing_input_lists_specs(self, cnn_module):
+        executor = Executor(cnn_module)
+        with pytest.raises(ValueError) as exc:
+            executor({})
+        message = str(exc.value)
+        assert "data" in message
+        assert "(1, 3, 16, 16)" in message
+        assert "float32" in message
+
+    def test_unknown_input_lists_specs(self, cnn_module, cnn_input):
+        executor = Executor(cnn_module)
+        with pytest.raises(ValueError) as exc:
+            executor(data=cnn_input, imag=cnn_input)
+        assert "imag" in str(exc.value)
+        assert "data" in str(exc.value)
+
+    def test_too_many_positional(self, cnn_module, cnn_input):
+        with pytest.raises(ValueError, match="positional"):
+            Executor(cnn_module)(cnn_input, cnn_input)
+
+    def test_explicit_device_placement(self, cnn_module, cnn_input):
+        executor = Executor(cnn_module, "gpu:3")
+        assert executor.device == Device("gpu", 3)
+        assert executor(cnn_input)[0].device == Device("gpu", 3)
+
+    def test_thread_safety(self, cnn_module):
+        executor = Executor(cnn_module)
+        rng = np.random.default_rng(3)
+        inputs = [rng.random((1, 3, 16, 16)).astype("float32")
+                  for _ in range(8)]
+        expected = [executor(x)[0].asnumpy() for x in inputs]
+        results = [None] * len(inputs)
+
+        def work(i):
+            results[i] = executor(inputs[i])[0].asnumpy()
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(len(inputs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got, want)
+
+
+# ---------------------------------------------------------------------------
+# Parameter aliasing regression (satellite #1)
+# ---------------------------------------------------------------------------
+
+class TestParamProtection:
+    def test_tensor_map_never_aliases_params(self, cnn_input):
+        module = repro.compile(_small_cnn(), target=cuda())
+        before = {name: value.copy() for name, value in module.params.items()}
+        legacy = module.executor()
+        legacy.run(data=cnn_input)
+        first = legacy.get_output(0).asnumpy()
+
+        # A caller (or an in-place kernel) mutating a tensor-map entry that
+        # names a parameter must raise, not corrupt the module's weights.
+        param_name = next(node.name for node in module.graph.input_nodes
+                          if node.name in module.params)
+        held = legacy.get_node_output(param_name)
+        with pytest.raises(ValueError):
+            held += 1.0
+        for name, value in module.params.items():
+            np.testing.assert_array_equal(value, before[name])
+
+        legacy.run(data=cnn_input)
+        np.testing.assert_array_equal(legacy.get_output(0).asnumpy(), first)
+
+    def test_graph_executor_missing_input_message(self):
+        module = repro.compile(_small_cnn(), target=cuda())
+        legacy = module.executor()
+        with pytest.raises(ValueError) as exc:
+            legacy.run()
+        assert "data" in str(exc.value)
+        assert "(1, 3, 16, 16)" in str(exc.value)
+
+
+# ---------------------------------------------------------------------------
+# Graph JSON codec
+# ---------------------------------------------------------------------------
+
+class TestGraphCodec:
+    def test_round_trip_preserves_structure_and_attr_types(self, cnn_module):
+        graph = cnn_module.graph
+        clone = graph_from_json(graph_to_json(graph))
+        assert [n.name for n in clone.nodes] == [n.name for n in graph.nodes]
+        assert [n.op for n in clone.nodes] == [n.op for n in graph.nodes]
+        for old, new in zip(graph.nodes, clone.nodes):
+            assert new.shape == old.shape
+            assert new.dtype == old.dtype
+            assert new.attrs == old.attrs
+            # tuple-ness must survive: the fallback-config seed hashes repr()
+            for key, value in old.attrs.items():
+                assert type(new.attrs[key]) is type(value)
+
+    def test_clone_is_independent(self, cnn_module):
+        clone = graph_from_json(graph_to_json(cnn_module.graph))
+        clone.nodes[0].shape = (999,)
+        assert cnn_module.graph.nodes[0].shape != (999,)
+
+
+# ---------------------------------------------------------------------------
+# Artifact export / load round trips (satellite #4)
+# ---------------------------------------------------------------------------
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("make_target", [cuda, arm_cpu, vdla],
+                             ids=["cuda", "arm_cpu", "vdla"])
+    def test_resnet18_round_trip_all_targets(self, make_target, tmp_path):
+        model = resnet18(batch=1, image_size=32, num_classes=10)
+        module = repro.compile(model, target=make_target())
+        path = tmp_path / "resnet18.repro"
+        module.export(path)
+        loaded = repro.load(path)
+
+        # No recompilation: exact latency table and provenance round-trip.
+        assert loaded.total_time == module.total_time
+        assert [k.time_seconds for k in loaded.kernels] == \
+            [k.time_seconds for k in module.kernels]
+        assert [k.name for k in loaded.kernels] == \
+            [k.name for k in module.kernels]
+        assert loaded.target.name == module.target.name
+        assert loaded.target.device_type == module.target.device_type
+        assert loaded.opt_level == module.opt_level
+        assert loaded.memory_plan.planned_bytes == module.memory_plan.planned_bytes
+
+        data = np.random.default_rng(11).random((1, 3, 32, 32)).astype("float32")
+        np.testing.assert_array_equal(Executor(module)(data)[0].asnumpy(),
+                                      Executor(loaded)(data)[0].asnumpy())
+
+    def test_provenance_round_trip(self, cnn_module, tmp_path):
+        # Mark kernels as tuned and check provenance survives the bundle.
+        module = repro.compile(_small_cnn(), target=cuda())
+        module.kernels[0].tuned = True
+        module.kernels[0].config_index = 1234
+        path = tmp_path / "tuned.repro"
+        module.export(path)
+        loaded = repro.load(path)
+        assert loaded.kernels[0].tuned is True
+        assert loaded.kernels[0].config_index == 1234
+        assert loaded.tuned_kernels == module.tuned_kernels
+
+    def test_pass_records_round_trip(self, cnn_module, tmp_path):
+        path = tmp_path / "records.repro"
+        cnn_module.export(path)
+        loaded = repro.load(path)
+        assert [r.name for r in loaded.pass_records] == \
+            [r.name for r in cnn_module.pass_records]
+
+
+class TestArtifactErrors:
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.repro"
+        path.write_bytes(b"this is not an artifact")
+        with pytest.raises(ArtifactError, match="export"):
+            repro.load(path)
+
+    def test_foreign_zip(self, tmp_path):
+        path = tmp_path / "foreign.zip"
+        with zipfile.ZipFile(path, "w") as bundle:
+            bundle.writestr("random.txt", "hello")
+        with pytest.raises(ArtifactError, match="missing"):
+            repro.load(path)
+
+    def test_newer_schema_rejected_with_upgrade_hint(self, cnn_module, tmp_path):
+        import json
+
+        path = tmp_path / "future.repro"
+        cnn_module.export(path)
+        rewritten = tmp_path / "future2.repro"
+        with zipfile.ZipFile(path) as src, \
+                zipfile.ZipFile(rewritten, "w") as dst:
+            for entry in src.namelist():
+                payload = src.read(entry)
+                if entry == "MANIFEST.json":
+                    manifest = json.loads(payload)
+                    manifest["schema_version"] = 99
+                    payload = json.dumps(manifest)
+                dst.writestr(entry, payload)
+        with pytest.raises(ArtifactError, match="v99"):
+            repro.load(rewritten)
+
+    def test_unknown_target_lists_known(self, cnn_module, tmp_path):
+        import json
+
+        path = tmp_path / "target.repro"
+        cnn_module.export(path)
+        rewritten = tmp_path / "target2.repro"
+        with zipfile.ZipFile(path) as src, \
+                zipfile.ZipFile(rewritten, "w") as dst:
+            for entry in src.namelist():
+                payload = src.read(entry)
+                if entry == "MANIFEST.json":
+                    manifest = json.loads(payload)
+                    manifest["target"]["name"] = "tpu-v9"
+                    payload = json.dumps(manifest)
+                dst.writestr(entry, payload)
+        with pytest.raises(ArtifactError, match="known targets"):
+            repro.load(rewritten)
+
+    def test_corrupt_manifest_json(self, cnn_module, tmp_path):
+        path = tmp_path / "corrupt.repro"
+        cnn_module.export(path)
+        rewritten = tmp_path / "corrupt2.repro"
+        with zipfile.ZipFile(path) as src, \
+                zipfile.ZipFile(rewritten, "w") as dst:
+            for entry in src.namelist():
+                payload = src.read(entry)
+                if entry == "MANIFEST.json":
+                    payload = b"{ not json"
+                dst.writestr(entry, payload)
+        with pytest.raises(ArtifactError, match="corrupt"):
+            repro.load(rewritten)
+
+
+# ---------------------------------------------------------------------------
+# Legacy shims and target helpers
+# ---------------------------------------------------------------------------
+
+class TestLegacyShims:
+    def test_save_load_deprecated_but_working(self, cnn_module, tmp_path,
+                                              cnn_input):
+        path = tmp_path / "legacy.repro"
+        with pytest.warns(DeprecationWarning):
+            cnn_module.save(path)
+        with pytest.warns(DeprecationWarning):
+            loaded = repro.CompiledModule.load(path)
+        assert loaded.total_time == cnn_module.total_time
+        np.testing.assert_array_equal(Executor(loaded)(cnn_input)[0].asnumpy(),
+                                      Executor(cnn_module)(cnn_input)[0].asnumpy())
+
+    def test_create_target_canonical_names(self):
+        for factory in (cuda, arm_cpu, vdla):
+            target = factory()
+            rebuilt = create_target(target.name)
+            assert rebuilt.name == target.name
+            assert rebuilt.device_type == target.device_type
+        # The pynq host CPU must not degrade to the generic arm profile.
+        from repro.hardware import pynq_cpu
+
+        pynq = pynq_cpu()
+        rebuilt = create_target(pynq.name)
+        assert rebuilt.model.params.name == pynq.model.params.name

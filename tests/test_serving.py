@@ -1,0 +1,270 @@
+"""Tests for repro.serve(): dynamic batching, the device pool, simulated
+latency accounting, and the RPC tracker paths it leans on (satellite #3)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.frontend import ModelBuilder
+from repro.hardware import cuda
+from repro.runtime import Executor, RPCServer, Tracker
+
+
+def _small_cnn():
+    b = ModelBuilder("small", seed=0)
+    data = b.input("data", (1, 3, 16, 16))
+    net = b.relu(b.batch_norm(b.conv2d(data, 8, 3, 1, 1, name="conv0")))
+    net = b.max_pool2d(net, 2, 2)
+    net = b.flatten(net)
+    net = b.softmax(b.dense(net, 10, "fc"))
+    graph, params = b.finalize(net)
+    return graph, params, {"data": (1, 3, 16, 16)}
+
+
+@pytest.fixture(scope="module")
+def module():
+    return repro.compile(_small_cnn(), target=cuda())
+
+
+@pytest.fixture(scope="module")
+def requests_and_expected(module):
+    rng = np.random.default_rng(5)
+    inputs = [rng.random((1, 3, 16, 16)).astype("float32") for _ in range(8)]
+    solo = Executor(module)
+    expected = [solo(x)[0].asnumpy() for x in inputs]
+    return inputs, expected
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+class TestInferenceEngine:
+    def test_outputs_bit_identical_to_solo_execution(self, module,
+                                                     requests_and_expected):
+        inputs, expected = requests_and_expected
+        with repro.serve(module, max_batch=4, timeout_ms=200) as engine:
+            results = engine.infer_many([{"data": x} for x in inputs],
+                                        timeout=30)
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got[0], want)
+
+    def test_dynamic_batching_coalesces(self, module, requests_and_expected):
+        inputs, _ = requests_and_expected
+        engine = repro.serve(module, max_batch=4, timeout_ms=500)
+        futures = [engine.submit(data=x) for x in inputs]
+        for future in futures:
+            future.result(30)
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == len(inputs)
+        assert stats["batches"] < len(inputs)
+        assert stats["mean_batch_occupancy"] > 1.0
+        assert sum(size * count for size, count
+                   in stats["batch_occupancy"].items()) == len(inputs)
+
+    def test_batched_time_is_per_batch_estimate_not_per_request_sum(self, module):
+        engine = repro.serve(module, max_batch=4, timeout_ms=500)
+        try:
+            single = module.total_time
+            batched = engine.estimated_batch_time(4)
+            # The coalesced batch costs the batch-4 kernel estimates: more
+            # than one request, far less than four independent requests.
+            assert single < batched < 4 * single
+            futures = [engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+                       for _ in range(4)]
+            for future in futures:
+                future.result(30)
+            full = [f for f in futures if f.batch_size == 4]
+            assert full, "expected at least one coalesced batch of 4"
+            for future in full:
+                assert future.simulated_latency == pytest.approx(batched)
+        finally:
+            engine.shutdown()
+        stats = engine.stats()
+        sim = stats["simulated"]
+        assert sim["makespan_seconds"] < 4 * single
+        assert sim["throughput_rps"] > 1.0 / single
+
+    def test_max_batch_one_matches_sequential_accounting(self, module):
+        with repro.serve(module, max_batch=1) as engine:
+            future = engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+            future.result(30)
+            assert future.batch_size == 1
+            assert future.simulated_latency == pytest.approx(module.total_time)
+
+    def test_round_robin_across_devices(self, module, requests_and_expected):
+        inputs, _ = requests_and_expected
+        engine = repro.serve(module, devices=["gpu:0", "gpu:1"],
+                             max_batch=4, timeout_ms=500)
+        engine.infer_many([{"data": x} for x in inputs], timeout=30)
+        engine.shutdown()
+        stats = engine.stats()
+        busy = stats["simulated"]["busy_seconds_per_device"]
+        assert set(busy) == {"gpu:0", "gpu:1"}
+        assert all(seconds > 0 for seconds in busy.values())
+        # Two batches in parallel: the makespan is the busiest device, not
+        # the sum over devices.
+        assert stats["simulated"]["makespan_seconds"] == pytest.approx(
+            max(busy.values()))
+
+    def test_serve_from_artifact_path(self, module, tmp_path,
+                                      requests_and_expected):
+        inputs, expected = requests_and_expected
+        path = tmp_path / "served.repro"
+        module.export(path)
+        with repro.serve(str(path), max_batch=2, timeout_ms=50) as engine:
+            result = engine.infer(data=inputs[0], timeout=30)
+        np.testing.assert_array_equal(result[0], expected[0])
+
+    def test_submit_after_shutdown_raises(self, module):
+        engine = repro.serve(module, max_batch=2)
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+
+    def test_bad_request_shapes_fail_fast(self, module):
+        with repro.serve(module, max_batch=2) as engine:
+            with pytest.raises(ValueError, match="native-batch"):
+                engine.submit(data=np.zeros((2, 3, 16, 16), "float32"))
+            with pytest.raises(ValueError, match="data"):
+                engine.submit(wrong=np.zeros((1, 3, 16, 16), "float32"))
+
+    def test_submit_copies_inputs(self, module):
+        # A client reusing its input buffer must not corrupt in-flight
+        # requests: the engine snapshots inputs at submit time.
+        rng = np.random.default_rng(9)
+        first = rng.random((1, 3, 16, 16)).astype("float32")
+        second = rng.random((1, 3, 16, 16)).astype("float32")
+        expected = Executor(module)(first)[0].asnumpy()
+        buffer = first.copy()
+        with repro.serve(module, max_batch=4, timeout_ms=200) as engine:
+            future = engine.submit(data=buffer)
+            buffer[...] = second
+            got = future.result(30)
+        np.testing.assert_array_equal(got[0], expected)
+
+    def test_async_shutdown_still_serves_queued_requests(self, module):
+        tracker = Tracker()
+        tracker.register_device("titan-x", cuda().model, count=1)
+        engine = repro.serve(module, max_batch=2, timeout_ms=50,
+                             tracker=tracker, rpc_key="titan-x")
+        futures = [engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+                   for _ in range(4)]
+        engine.shutdown(wait=False)
+        # Queued requests still resolve, and the worker releases its lease
+        # only after it has drained them.
+        for future in futures:
+            assert len(future.result(30)) == 1
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if tracker.summary()["titan-x"]["free"] == 1:
+                break
+            time.sleep(0.01)
+        assert tracker.summary()["titan-x"]["free"] == 1
+
+    def test_engine_validates_knobs(self, module):
+        with pytest.raises(ValueError, match="max_batch"):
+            repro.serve(module, max_batch=0)
+        with pytest.raises(ValueError, match="devices"):
+            repro.serve(module, devices=0)
+
+
+# ---------------------------------------------------------------------------
+# Tracker-backed serving
+# ---------------------------------------------------------------------------
+
+class TestTrackerServing:
+    def test_leases_counted_and_released_on_shutdown(self, module,
+                                                     requests_and_expected):
+        inputs, expected = requests_and_expected
+        tracker = Tracker()
+        tracker.register_device("titan-x", cuda().model, count=2)
+        engine = repro.serve(module, devices=2, max_batch=4, timeout_ms=500,
+                             tracker=tracker, rpc_key="titan-x")
+        during = tracker.summary()["titan-x"]
+        assert during["free"] == 0  # both devices exclusively leased
+        results = engine.infer_many([{"data": x} for x in inputs], timeout=30)
+        engine.shutdown()
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got[0], want)
+        summary = tracker.summary()["titan-x"]
+        assert summary["total"] == 2
+        assert summary["free"] == 2  # released back to the pool
+        assert summary["requests"] == engine.stats()["batches"]
+
+    def test_pool_exhaustion_fails_and_releases_partial_leases(self, module):
+        tracker = Tracker()
+        tracker.register_device("titan-x", cuda().model, count=1)
+        with pytest.raises(TimeoutError):
+            repro.serve(module, devices=2, tracker=tracker, rpc_key="titan-x")
+        # the one successful lease must have been released again
+        assert tracker.summary()["titan-x"]["free"] == 1
+
+    def test_tracker_requires_key(self, module):
+        with pytest.raises(ValueError, match="rpc_key"):
+            repro.serve(module, tracker=Tracker())
+
+
+# ---------------------------------------------------------------------------
+# rpc.Tracker.request paths (satellite #3)
+# ---------------------------------------------------------------------------
+
+class TestTrackerRequest:
+    def test_timeout_on_exhausted_pool(self):
+        tracker = Tracker()
+        tracker.register_device("board", cuda().model, count=1)
+        session = tracker.request("board")
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="board"):
+            tracker.request("board", timeout=0.05)
+        assert time.monotonic() - start < 5.0
+        session.release()
+
+    def test_unknown_key_lists_known(self):
+        tracker = Tracker()
+        tracker.register_device("board", cuda().model)
+        with pytest.raises(KeyError, match="board"):
+            tracker.request("nonexistent")
+
+    def test_release_notifies_blocked_request(self):
+        tracker = Tracker()
+        tracker.register_device("board", cuda().model, count=1)
+        first = tracker.request("board")
+        acquired = []
+
+        def blocked():
+            session = tracker.request("board", timeout=10.0)
+            acquired.append(session)
+            session.release()
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired  # still blocked while the lease is held
+        first.release()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert len(acquired) == 1
+        assert tracker.summary()["board"]["free"] == 1
+
+    def test_double_release_is_idempotent(self):
+        tracker = Tracker()
+        tracker.register_device("board", cuda().model, count=1)
+        session = tracker.request("board")
+        session.release()
+        session.release()
+        assert tracker.summary()["board"]["free"] == 1
+
+    def test_execute_counts_and_refuses_after_release(self):
+        tracker = Tracker()
+        tracker.register_device("board", cuda().model, count=1)
+        session = tracker.request("board")
+        assert session.execute(lambda a, b: a + b, 2, 3) == 5
+        session.release()
+        with pytest.raises(RuntimeError, match="released"):
+            session.execute(lambda: None)
+        assert tracker.summary()["board"]["requests"] == 1
