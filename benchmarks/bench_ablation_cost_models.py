@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from common import conv_graph, get_target
+from common import conv_graph, emit_summary, get_target
 from repro import tir
 from repro.autotvm import (
     GradientBoostedTrees,
@@ -102,6 +102,10 @@ def test_ablation_cost_models(benchmark):
         print(f"{name:<16}{entry['rank_corr']:>12.3f}{entry['predict_ms']:>20.3f}")
         benchmark.extra_info[f"{name}_rank_corr"] = round(entry["rank_corr"], 3)
         benchmark.extra_info[f"{name}_predict_ms"] = round(entry["predict_ms"], 3)
+    emit_summary("ablation_cost_models", {
+        name: {"rank_corr": round(entry["rank_corr"], 3),
+               "predict_ms": round(entry["predict_ms"], 3)}
+        for name, entry in results.items()})
     # Paper: both learned models rank schedules usefully; the boosted trees
     # predict faster than the neural AST model (why they are the default).
     assert results["GBT (default)"]["rank_corr"] > 0.3

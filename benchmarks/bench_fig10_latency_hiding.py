@@ -8,7 +8,7 @@ utilisation rising from 70% to 88% with latency hiding.
 
 import pytest
 
-from common import print_series
+from common import emit_summary, print_series
 from repro import tir
 from repro.hardware import VDLAAccelerator, pynq_vdla_params
 from repro.tir.transforms import inject_virtual_threads
@@ -56,6 +56,10 @@ def test_fig10_latency_hiding_roofline(benchmark):
     peak_with = max(e["util w/ hiding %"] for _n, e in rows)
     benchmark.extra_info["peak_util_no_hiding_pct"] = round(peak_without, 1)
     benchmark.extra_info["peak_util_hiding_pct"] = round(peak_with, 1)
+    emit_summary("fig10_latency_hiding", {
+        "peak_util_no_hiding_pct": round(peak_without, 1),
+        "peak_util_hiding_pct": round(peak_with, 1),
+        "speedup": {name: round(entry["speedup"], 3) for name, entry in rows}})
     # Latency hiding must improve every layer and raise peak utilisation
     # (paper: 70% -> 88%).
     for name, entry in rows:

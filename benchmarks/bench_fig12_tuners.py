@@ -11,7 +11,7 @@ whose per-task trial curves are exactly the data this figure plots.
 
 import pytest
 
-from common import conv_graph, get_target, print_series
+from common import conv_graph, emit_summary, get_target, print_series
 import repro
 from repro.autotvm import TuningOptions
 from repro.baselines import CUDNN_PROFILE, VendorLibrary
@@ -57,6 +57,9 @@ def test_fig12_ml_vs_blackbox(benchmark):
                  unit="x vs cuDNN")
     for label, value in best.items():
         benchmark.extra_info[f"{label}_final_speedup_vs_cudnn"] = round(cudnn / value, 3)
+    emit_summary("fig12_tuners", {
+        "final_speedup_vs_cudnn": {label: round(cudnn / value, 3)
+                                   for label, value in best.items()}})
     # The ML-guided explorer should end at least as good as random search and
     # in the neighbourhood of cuDNN (paper: surpasses it on this operator).
     assert best["ML-based model"] <= best["Random search"] * 1.15

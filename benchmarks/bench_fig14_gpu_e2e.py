@@ -7,7 +7,7 @@ speedups of 1.6x-3.8x over the frameworks backed by cuDNN/cuBLAS.
 
 import pytest
 
-from common import MODEL_BUILDERS, build_model, compile_model, get_target, print_series
+from common import (MODEL_BUILDERS, build_model, compile_model, emit_summary, get_target, print_series)
 from repro.baselines import MXNetSim, TensorFlowSim, TensorFlowXLASim
 
 MODELS = ["resnet-18", "mobilenet", "lstm-lm", "dqn", "dcgan"]
@@ -43,4 +43,8 @@ def test_fig14_gpu_end_to_end(benchmark):
         assert entry["TVM"] <= entry["TVM w/o graph opt"] * 1.05
     # DQN has the largest speedup because of its unconventional 4x4 s2 conv.
     speedups = {m: min(e["TensorFlow"], e["MXNet"]) / e["TVM"] for m, e in rows}
+    emit_summary("fig14_gpu_e2e", {
+        "tvm_ms": {m: round(e["TVM"], 3) for m, e in rows},
+        "speedup_vs_best_framework": {m: round(s, 3)
+                                      for m, s in speedups.items()}})
     assert speedups["dqn"] >= speedups["resnet-18"]

@@ -7,7 +7,7 @@ kernels for the MobileNet depthwise operators, on the simulated Titan X.
 
 import pytest
 
-from common import get_target, print_series, tvm_conv_time
+from common import emit_summary, get_target, print_series, tvm_conv_time
 from repro import te, tir
 from repro.baselines import CUDNN_PROFILE, MXNET_KERNEL_PROFILE, VendorLibrary
 from repro.topi.schedules import gpu as gpu_sched
@@ -64,6 +64,11 @@ def test_fig15_gpu_operator_speedups(benchmark):
 
     benchmark.extra_info["conv_geomean_speedup"] = round(
         float(np.exp(np.mean(np.log(conv_speedups)))), 2)
+    emit_summary("fig15_gpu_ops", {
+        "conv_geomean_speedup_vs_cudnn": round(
+            float(np.exp(np.mean(np.log(conv_speedups)))), 3),
+        "dw_geomean_speedup_vs_mxnet": round(
+            float(np.exp(np.mean(np.log(dw_speedups)))), 3)})
     # TVM should be competitive with cuDNN on most layers (paper: better on
     # the majority) and clearly ahead of the handcrafted depthwise kernels.
     assert sum(s > 0.6 for s in conv_speedups) >= len(conv_speedups) * 0.7

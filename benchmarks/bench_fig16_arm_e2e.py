@@ -6,7 +6,7 @@ LSTM are omitted exactly as in the paper (not supported by the baseline).
 
 import pytest
 
-from common import build_model, compile_model, print_series
+from common import build_model, compile_model, emit_summary, print_series
 from repro.baselines import TFLiteSim
 
 MODELS = ["resnet-18", "mobilenet", "dqn"]
@@ -31,6 +31,10 @@ def _evaluate():
 def test_fig16_arm_end_to_end(benchmark):
     rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
     print_series("Figure 16: ARM A53 end-to-end inference time (ms)", rows)
+    emit_summary("fig16_arm_e2e", {
+        "tvm_ms": {m: round(e["TVM"], 3) for m, e in rows},
+        "speedup_vs_tflite": {m: round(e["Tensorflow Lite"] / e["TVM"], 3)
+                              for m, e in rows}})
     for model, entry in rows:
         speedup = entry["Tensorflow Lite"] / entry["TVM"]
         benchmark.extra_info[f"{model}_speedup_vs_tflite"] = round(speedup, 2)

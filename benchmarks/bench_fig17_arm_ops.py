@@ -6,7 +6,7 @@ operators and the MobileNet depthwise conv2d operators.
 
 import pytest
 
-from common import get_target, print_series, tvm_conv_time
+from common import emit_summary, get_target, print_series, tvm_conv_time
 from repro.baselines import TFLITE_PROFILE, VendorLibrary
 from repro.workloads import MOBILENET_DEPTHWISE_WORKLOADS, RESNET_CONV_WORKLOADS
 
@@ -41,6 +41,11 @@ def test_fig17_arm_operator_speedups(benchmark):
                  unit="x")
     conv_speedups = [e["TVM"] for _n, e in conv_rows]
     dw_speedups = [e["TVM"] for _n, e in dw_rows]
+    emit_summary("fig17_arm_ops", {
+        "conv_speedup_vs_tflite": {name: round(e["TVM"], 3)
+                                   for name, e in conv_rows},
+        "dw_speedup_vs_tflite": {name: round(e["TVM"], 3)
+                                 for name, e in dw_rows}})
     # Paper: TVM outperforms the hand-optimized TFLite kernels for both
     # operator types, with the depthwise advantage especially clear.
     assert sum(s > 1.0 for s in conv_speedups) >= len(conv_speedups) * 0.6

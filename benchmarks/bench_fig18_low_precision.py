@@ -8,7 +8,7 @@ where the baseline library is not optimized.
 
 import pytest
 
-from common import get_target, print_series
+from common import emit_summary, get_target, print_series
 from repro import tir
 from repro.autotvm.space import ConfigSpace
 from repro.baselines import CAFFE2_ULP_PROFILE, VendorLibrary
@@ -54,6 +54,9 @@ def test_fig18_low_precision_speedups(benchmark):
                  rows, unit="x")
     single = {n: e["TVM single-threaded"] for n, e in rows}
     multi = {n: e["TVM multi-threaded"] for n, e in rows}
+    emit_summary("fig18_low_precision", {
+        "single_speedup_vs_caffe2": {n: round(v, 3) for n, v in single.items()},
+        "multi_speedup_vs_caffe2": {n: round(v, 3) for n, v in multi.items()}})
     # Multi-threading should help (except possibly the low-intensity 1x1 layers),
     # and the 1x1 stride-2 layers (C5, C8, C11) should show the largest wins
     # because the baseline library is not optimized for them.

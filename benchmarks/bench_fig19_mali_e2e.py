@@ -6,7 +6,7 @@ reports 1.2x-1.6x speedups; DCGAN and LSTM are not supported by the baseline.
 
 import pytest
 
-from common import build_model, compile_model, print_series
+from common import build_model, compile_model, emit_summary, print_series
 from repro.baselines import ACLSim
 
 MODELS = ["resnet-18", "mobilenet", "dqn"]
@@ -34,6 +34,10 @@ def _evaluate():
 def test_fig19_mali_end_to_end(benchmark):
     rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
     print_series("Figure 19: Mali GPU end-to-end inference time (ms)", rows)
+    emit_summary("fig19_mali_e2e", {
+        "tvm_ms": {name: round(e["TVM"], 3) for name, e in rows},
+        "speedup_vs_acl": {name: round(e["ARMComputeLib"] / e["TVM"], 3)
+                           for name, e in rows}})
     for name, entry in rows:
         speedup = entry["ARMComputeLib"] / entry["TVM"]
         benchmark.extra_info[f"{name}_speedup"] = round(speedup, 2)

@@ -9,7 +9,7 @@ by the layers that stay on the CPU (Amdahl's law).
 import pytest
 
 import repro
-from common import build_model, get_target, print_series
+from common import build_model, emit_summary, get_target, print_series
 
 
 def _evaluate():
@@ -52,6 +52,9 @@ def test_fig21_fpga_offload(benchmark):
           f"end-to-end: {total_speedup:.2f}x")
     benchmark.extra_info["conv_offload_speedup"] = round(conv_speedup, 1)
     benchmark.extra_info["end_to_end_speedup"] = round(total_speedup, 2)
+    emit_summary("fig21_fpga_offload", {
+        "conv_offload_speedup": round(conv_speedup, 2),
+        "end_to_end_speedup": round(total_speedup, 3)})
     # Offloaded convolutions should speed up by a large factor (paper: 40x)
     # while the end-to-end gain is bounded by the CPU-resident layers.
     assert conv_speedup > 5.0

@@ -8,7 +8,7 @@ reports 1.2x-2.0x speedups from removing intermediate-result round trips.
 import pytest
 
 import repro
-from common import get_target, print_series
+from common import emit_summary, get_target, print_series
 from repro.frontend.builder import ModelBuilder
 
 
@@ -73,6 +73,9 @@ def _evaluate():
 def test_fig4_operator_fusion(benchmark):
     rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
     print_series("Figure 4: fused vs non-fused relative speedup", rows, unit="see col")
+    emit_summary("fig4_fusion", {
+        "fusion_speedup": {name: round(entry["speedup"], 3)
+                           for name, entry in rows}})
     for name, entry in rows:
         benchmark.extra_info[f"{name}_speedup"] = round(entry["speedup"], 2)
         # Fusion must help, and in the paper's 1.2x-2x range (loosely checked).

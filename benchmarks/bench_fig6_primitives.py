@@ -8,7 +8,7 @@ tensorization and latency hiding on the accelerator.
 
 import pytest
 
-from common import get_target
+from common import emit_summary, get_target
 from repro import te, tir
 from repro.autotvm.space import ConfigSpace
 from repro.hardware import SCHEDULE_PRIMITIVE_SUPPORT
@@ -66,6 +66,10 @@ def test_fig6_schedule_primitive_usage(benchmark):
     for primitive, (on_cpu, on_gpu, on_accel) in usage.items():
         print(f"{primitive:28s} {str(bool(on_cpu)):>6s} {str(bool(on_gpu)):>6s} "
               f"{str(bool(on_accel)):>6s}")
+    emit_summary("fig6_primitives", {
+        "usage": {primitive: {"cpu": bool(on_cpu), "gpu": bool(on_gpu),
+                              "accel": bool(on_accel)}
+                  for primitive, (on_cpu, on_gpu, on_accel) in usage.items()}})
     # Cross-check against the capability table exposed by the targets.
     assert SCHEDULE_PRIMITIVE_SUPPORT["gpu"]["special_memory_scope"]
     assert SCHEDULE_PRIMITIVE_SUPPORT["accel"]["latency_hiding"]

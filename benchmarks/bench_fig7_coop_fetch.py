@@ -8,7 +8,7 @@ closing most of the gap to cuBLAS.
 
 import pytest
 
-from common import get_target, print_series
+from common import emit_summary, get_target, print_series
 from repro import te, tir
 from repro.baselines import CUDNN_PROFILE, VendorLibrary
 from repro.topi import nn
@@ -41,6 +41,11 @@ def _evaluate():
 def test_fig7_cooperative_fetching(benchmark):
     rows = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
     print_series("Figure 7: matmul time (ms) on server GPU", rows)
+    emit_summary("fig7_coop_fetch", {
+        "coop_speedup": {size: round(entry["TVM w/o coop."] / entry["TVM"], 3)
+                         for size, entry in rows},
+        "vs_cublas": {size: round(entry["cuBLAS"] / entry["TVM"], 3)
+                      for size, entry in rows}})
     for size, entry in rows:
         benchmark.extra_info[f"matmul{size}_coop_speedup"] = round(
             entry["TVM w/o coop."] / entry["TVM"], 2)

@@ -107,8 +107,15 @@ def run_suite(model: str = "resnet-18", target: str = "gpu", trials: int = 64,
     results["tuning_session"] = time_tuning_session(model, target, trials,
                                                     max_tasks, seed=seed)
     session = results["tuning_session"]
-    hits = session["eval_cache"]["features"]
-    hit_rate = hits["hits"] / max(hits["hits"] + hits["misses"], 1)
+    # Surface the shared-cache counters (with derived hit rates) as a
+    # top-level section so per-commit dashboards need not dig into the
+    # session record.
+    results["eval_cache"] = {
+        name: {**counters,
+               "hit_rate": counters["hits"] / max(counters["hits"]
+                                                  + counters["misses"], 1)}
+        for name, counters in session["eval_cache"].items()}
+    hit_rate = results["eval_cache"]["features"]["hit_rate"]
     print(f"[perf]   {session['elapsed_s']:.1f}s for "
           f"{session['total_trials']} trials "
           f"({session['seconds_per_trial']*1000:.0f} ms/trial, "
@@ -154,6 +161,20 @@ def main(argv=None) -> int:
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"[perf] wrote {args.output}")
+    from common import emit_summary
+
+    session = results["tuning_session"]
+    emit_summary("perf", {
+        "compile_cold_s": round(results["compile"]["cold_s"], 3),
+        "compile_warm_s": round(results["compile"]["warm_s"], 4),
+        "tuning_elapsed_s": round(session["elapsed_s"], 2),
+        "ms_per_trial": round(session["seconds_per_trial"] * 1e3, 2),
+        "feature_cache_hit_rate":
+            round(results["eval_cache"]["features"]["hit_rate"], 4),
+        "lowered_cache_hit_rate":
+            round(results["eval_cache"]["lowered"]["hit_rate"], 4),
+        "curve_sha256": session["curve_sha256"][:16],
+    })
 
     if budget is not None:
         elapsed = results["tuning_session"]["elapsed_s"]

@@ -1,7 +1,7 @@
 """Serving benchmark: throughput and latency vs ``max_batch`` (tracked per PR).
 
 Measures ``repro.serve`` on resnet-18/cuda over a pool of simulated GPUs in
-three modes and writes ``BENCH_serving.json`` next to this file:
+several modes and writes ``BENCH_serving.json`` next to this file:
 
 * **sequential** — one blocking client, one device, no engine: the seed-era
   deployment pattern (one request finishes before the next starts).
@@ -10,20 +10,33 @@ three modes and writes ``BENCH_serving.json`` next to this file:
 * **batched** — the engine with dynamic batching at several ``max_batch``
   settings: requests coalesce along the batch axis and whole batches
   round-robin across the pool.
+* **process / process-batched** — the engine with ``pool="process"``: one
+  worker OS process per device over a shared-memory parameter arena, so
+  execution escapes the GIL and *wall-clock* throughput can actually scale
+  with the device pool (the thread modes above scale only in simulated time).
 
 Throughput is reported in *simulated* time (per-batch kernel estimates — a
 batch costs what compiling the model at that batch size estimates, never the
 sum of per-request times) alongside host wall-clock observations.  Every
-request's output is checked to be bit-identical to a solo execution, and a
+request's output is checked to be bit-identical to a solo execution, a
 determinism fingerprint over the timing-independent quantities (single/batch
 kernel estimates and an output digest) is recorded so behaviour changes are
-visible per commit.
+visible per commit, and after all runs ``/dev/shm`` is audited for leaked
+pool segments.
+
+The process-pool wall-scaling acceptance bound is host-aware: the full
+"wall throughput >= 2x threaded and >= sequential" criterion is enforced
+only when the host grants >= 4 CPU cores (the CI runners do); on smaller
+hosts the bound degrades gracefully and the core count is recorded in the
+output so results are interpretable.
 
 Usage::
 
-    python benchmarks/bench_serving.py             # full run (64 requests)
-    python benchmarks/bench_serving.py --smoke     # CI-sized, enforces the
-                                                   # >=3x acceptance bound
+    python benchmarks/bench_serving.py                    # full run, all modes
+    python benchmarks/bench_serving.py --smoke            # CI-sized, enforces
+                                                          # the >=3x sim bound
+    python benchmarks/bench_serving.py --smoke --pool process
+                                                          # CI process-pool job
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
 import sys
 import time
@@ -40,6 +54,9 @@ import numpy as np
 
 import repro
 from repro.runtime import Executor, InferenceEngine
+from repro.runtime.procpool import leaked_segments
+
+from common import emit_summary
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
 
@@ -47,7 +64,31 @@ MODEL = "resnet-18"
 TARGET = "cuda"
 DEVICES = 4                    #: simulated GPU pool round-robined by the engine
 BATCH_SIZES = (2, 4, 8)
+PROCESS_BATCH = 8              #: max_batch of the process-batched mode
 COALESCE_TIMEOUT_MS = 250.0    #: generous window so batches fill deterministically
+
+
+def _host_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:      # non-Linux
+        return os.cpu_count() or 1
+
+
+def _wall_scaling_bound(cores: int) -> float:
+    """Host-aware wall-throughput bound of process vs threaded serving.
+
+    With >= 4 usable cores (one per pool worker — what the CI runners have)
+    the worker processes genuinely run in parallel and we demand the full
+    2x.  With 2-3 cores partial overlap is possible; on a single core the
+    pool cannot beat the GIL-free baseline at all (everything time-slices
+    one CPU plus pays IPC), so only correctness is enforced.
+    """
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.0
+    return 0.0
 
 
 def _requests(n: int, shape) -> list:
@@ -80,9 +121,9 @@ def run_sequential(module, inputs) -> tuple:
 
 
 def run_engine_mode(module, inputs, mode: str, max_batch: int,
-                    reference) -> dict:
+                    reference, pool: str = "thread") -> dict:
     engine = InferenceEngine(module, devices=DEVICES, max_batch=max_batch,
-                             timeout_ms=COALESCE_TIMEOUT_MS)
+                             timeout_ms=COALESCE_TIMEOUT_MS, pool=pool)
     try:
         # Warm the batch cost model so the first batch doesn't pay the
         # one-off estimation inside its wall-clock window.
@@ -96,7 +137,7 @@ def run_engine_mode(module, inputs, mode: str, max_batch: int,
     stats = engine.stats()
     sim, wall = stats["simulated"], stats["wall"]
     return {
-        "mode": mode, "devices": DEVICES, "max_batch": max_batch,
+        "mode": mode, "pool": pool, "devices": DEVICES, "max_batch": max_batch,
         "requests": stats["requests"],
         "batches": stats["batches"],
         "batch_occupancy": stats["batch_occupancy"],
@@ -125,6 +166,10 @@ def main(argv=None) -> int:
                         help="output JSON path; --smoke defaults to "
                              "BENCH_serving_smoke.json so the tracked "
                              "full-run numbers are not clobbered")
+    parser.add_argument("--pool", choices=("thread", "process", "both"),
+                        default="both",
+                        help="which engine pools to benchmark (sequential "
+                             "and threaded always run as baselines)")
     args = parser.parse_args(argv)
     n_requests = args.requests or (32 if args.smoke else 64)
     budget = args.budget or (420.0 if args.smoke else None)
@@ -144,20 +189,41 @@ def main(argv=None) -> int:
 
     print(f"threaded:   {n_requests} requests, {DEVICES} devices, "
           f"max_batch=1 ...")
-    rows.append(run_engine_mode(module, inputs, "threaded", 1, reference))
-    print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps")
+    threaded = run_engine_mode(module, inputs, "threaded", 1, reference)
+    rows.append(threaded)
+    print(f"  sim {threaded['sim_throughput_rps']:.0f} rps, "
+          f"wall {threaded['wall_throughput_rps']:.1f} rps")
 
-    for max_batch in BATCH_SIZES:
-        print(f"batched:    {n_requests} requests, {DEVICES} devices, "
-              f"max_batch={max_batch} ...")
-        rows.append(run_engine_mode(module, inputs, "batched", max_batch,
-                                    reference))
-        print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps, occupancy "
-              f"{rows[-1]['mean_batch_occupancy']:.2f}")
+    if args.pool in ("thread", "both"):
+        for max_batch in BATCH_SIZES:
+            print(f"batched:    {n_requests} requests, {DEVICES} devices, "
+                  f"max_batch={max_batch} ...")
+            rows.append(run_engine_mode(module, inputs, "batched", max_batch,
+                                        reference))
+            print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps, occupancy "
+                  f"{rows[-1]['mean_batch_occupancy']:.2f}")
+
+    process_row = None
+    if args.pool in ("process", "both"):
+        print(f"process:    {n_requests} requests, {DEVICES} worker "
+              f"processes, max_batch=1 ...")
+        process_row = run_engine_mode(module, inputs, "process", 1,
+                                      reference, pool="process")
+        rows.append(process_row)
+        print(f"  sim {process_row['sim_throughput_rps']:.0f} rps, "
+              f"wall {process_row['wall_throughput_rps']:.1f} rps")
+        print(f"process-batched: {n_requests} requests, {DEVICES} worker "
+              f"processes, max_batch={PROCESS_BATCH} ...")
+        rows.append(run_engine_mode(module, inputs, "process-batched",
+                                    PROCESS_BATCH, reference, pool="process"))
+        print(f"  sim {rows[-1]['sim_throughput_rps']:.0f} rps, "
+              f"wall {rows[-1]['wall_throughput_rps']:.1f} rps")
 
     base = sequential["sim_throughput_rps"]
     for row in rows:
         row["sim_speedup_vs_sequential"] = row["sim_throughput_rps"] / base
+        row["wall_speedup_vs_sequential"] = (row["wall_throughput_rps"]
+                                             / sequential["wall_throughput_rps"])
 
     # Timing-independent determinism fingerprint: kernel estimates at each
     # batch size plus a digest of the first request's output.
@@ -173,15 +239,45 @@ def main(argv=None) -> int:
     digest.update(json.dumps(batch_estimates, sort_keys=True).encode())
     fingerprint = digest.hexdigest()
 
-    batched8 = next(r for r in rows
-                    if r["mode"] == "batched" and r["max_batch"] == 8)
-    acceptance = {
-        "criterion": "serve(max_batch=8) >= 3x sequential simulated "
-                     "throughput on resnet-18/gpu with bit-identical outputs",
-        "sim_speedup": batched8["sim_speedup_vs_sequential"],
-        "bit_identical_outputs": batched8["bit_identical_outputs"],
-        "passed": bool(batched8["sim_speedup_vs_sequential"] >= 3.0
-                       and batched8["bit_identical_outputs"]),
+    acceptance = {}
+    batched8 = next((r for r in rows
+                     if r["mode"] == "batched" and r["max_batch"] == 8), None)
+    if batched8 is not None:
+        acceptance["batching"] = {
+            "criterion": "serve(max_batch=8) >= 3x sequential simulated "
+                         "throughput on resnet-18/gpu with bit-identical "
+                         "outputs",
+            "sim_speedup": batched8["sim_speedup_vs_sequential"],
+            "bit_identical_outputs": batched8["bit_identical_outputs"],
+            "passed": bool(batched8["sim_speedup_vs_sequential"] >= 3.0
+                           and batched8["bit_identical_outputs"]),
+        }
+    cores = _host_cores()
+    if process_row is not None:
+        bound = _wall_scaling_bound(cores)
+        wall_vs_threaded = (process_row["wall_throughput_rps"]
+                            / max(threaded["wall_throughput_rps"], 1e-12))
+        wall_vs_sequential = process_row["wall_speedup_vs_sequential"]
+        scaled = (wall_vs_threaded >= bound
+                  and (wall_vs_sequential >= 1.0 if cores >= 4 else True))
+        acceptance["process_pool"] = {
+            "criterion": f"pool='process' over {DEVICES} workers: wall "
+                         f"throughput >= {bound:.1f}x threaded "
+                         f"(host-aware; full 2x + >= sequential needs >= 4 "
+                         f"cores), bit-identical outputs",
+            "host_cores": cores,
+            "wall_bound": bound,
+            "wall_vs_threaded": wall_vs_threaded,
+            "wall_vs_sequential": wall_vs_sequential,
+            "bit_identical_outputs": process_row["bit_identical_outputs"],
+            "passed": bool(scaled and process_row["bit_identical_outputs"]),
+        }
+    leaked = leaked_segments()
+    acceptance["shm_leaks"] = {
+        "criterion": "no repro-pp-* segment left in /dev/shm after all "
+                     "engine shutdowns",
+        "leaked_segments": leaked,
+        "passed": not leaked,
     }
     elapsed = time.perf_counter() - suite_start
 
@@ -193,6 +289,7 @@ def main(argv=None) -> int:
         "coalesce_timeout_ms": COALESCE_TIMEOUT_MS,
         "smoke": bool(args.smoke),
         "python": platform.python_version(),
+        "host_cores": cores,
         "rows": rows,
         "batch_time_estimates_s": batch_estimates,
         "acceptance": acceptance,
@@ -201,11 +298,23 @@ def main(argv=None) -> int:
     }
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nWrote {output}")
-    print(f"batched max_batch=8: {acceptance['sim_speedup']:.2f}x sequential "
-          f"(bit-identical: {acceptance['bit_identical_outputs']}), "
-          f"elapsed {elapsed:.1f}s")
+    for name, check in acceptance.items():
+        print(f"acceptance[{name}]: "
+              f"{'PASS' if check['passed'] else 'FAIL'}")
+    emit_summary("serving", {
+        "modes": {row["mode"]: {
+            "wall_rps": round(row["wall_throughput_rps"], 2),
+            "sim_rps": round(row["sim_throughput_rps"], 2),
+            "wall_p99_ms": round(row["wall_latency_p99_ms"], 2),
+            "sim_p99_ms": round(row["sim_latency_p99_ms"], 2),
+        } for row in rows},
+        "host_cores": cores,
+        "fingerprint": fingerprint[:16],
+        "passed": all(check["passed"] for check in acceptance.values()),
+        "elapsed_s": round(elapsed, 1),
+    })
 
-    if not acceptance["passed"]:
+    if not all(check["passed"] for check in acceptance.values()):
         print("FAIL: acceptance criterion not met", file=sys.stderr)
         return 1
     if budget is not None and elapsed > budget:

@@ -9,7 +9,7 @@ and unlike a predefined cost model it needs no hardware description.
 
 import pytest
 
-from common import get_target, print_series
+from common import emit_summary, get_target, print_series
 from repro import autotvm
 from repro.graph.op_timing import _conv2d_template
 
@@ -50,6 +50,10 @@ def test_table1_automation_methods(benchmark):
     for method, attrs in qualitative.items():
         print(f"  {method:24s} " + ", ".join(f"{k}={v}" for k, v in attrs.items()))
     benchmark.extra_info["ml_vs_blackbox_ratio"] = round(ml_small / blackbox_large, 3)
+    emit_summary("table1_methods", {
+        "blackbox_48_best_us": round(blackbox_large * 1e6, 3),
+        "ml_24_best_us": round(ml_small * 1e6, 3),
+        "ml_vs_blackbox_ratio": round(ml_small / blackbox_large, 3)})
     # With half the measurement budget the ML-guided search should land within
     # ~30% of (or better than) the blackbox result.
     assert ml_small <= blackbox_large * 1.3

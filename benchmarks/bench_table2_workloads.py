@@ -7,7 +7,7 @@ the networks in the model zoo.
 
 import pytest
 
-from common import build_model
+from common import build_model, emit_summary
 from repro.workloads import (
     MOBILENET_DEPTHWISE_WORKLOADS,
     RESNET_CONV_WORKLOADS,
@@ -58,6 +58,14 @@ def test_table2_workloads(benchmark):
               f" {workload.channels:5d} {'':>5s} {workload.kernel:3d} {workload.stride:3d}"
               f" {workload.gflops:8.3f}")
     assert len(table) == 21
+    emit_summary("table2_workloads", {
+        "n_workloads": len(table),
+        "n_resnet_conv": len(RESNET_CONV_WORKLOADS),
+        "n_mobilenet_dw": len(MOBILENET_DEPTHWISE_WORKLOADS),
+        "total_gflops": round(sum(w.gflops for w in RESNET_CONV_WORKLOADS)
+                              + sum(w.gflops
+                                    for w in MOBILENET_DEPTHWISE_WORKLOADS),
+                              3)})
 
     # The table rows really are the layers of the model-zoo networks.
     resnet_shapes = _resnet_conv_shapes()

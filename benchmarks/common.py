@@ -9,6 +9,7 @@ figure reports.
 
 from __future__ import annotations
 
+import json
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
@@ -104,6 +105,21 @@ def print_series(title: str, rows: List[Tuple[str, Dict[str, float]]],
             value = values.get(column, float("nan"))
             line += f"{value:18.4f}"
         print(line + f"   [{unit}]")
+
+
+def emit_summary(suite: str, data: Dict[str, object]) -> None:
+    """Print the benchmark's single machine-readable summary line.
+
+    Every ``bench_*.py`` ends with one of these so dashboards and CI greps
+    can consume results without parsing the human-readable tables::
+
+        BENCH_SUMMARY {"suite": "serving", ...}
+
+    Values must be JSON-serialisable; keep the payload small (headline
+    numbers, not full row dumps).
+    """
+    print("BENCH_SUMMARY " + json.dumps({"suite": suite, **data},
+                                        sort_keys=True, default=float))
 
 
 def conv_graph(batch, in_channels, height, width, out_channels, kernel, stride,

@@ -23,7 +23,7 @@ from .cost_model import (
 from .database import TuningDatabase, TuningLogEntry
 from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord, RPCMeasurer
 from .options import ProgressEvent, TuningOptions
-from .parallel import ParallelMeasurer
+from .parallel import ParallelMeasurer, ProcessMeasurer, shutdown_measure_pools
 from .registry import TUNER_REGISTRY, get_tuner, list_tuners, register_tuner
 from .session import (
     TaskTuningResult,
@@ -64,6 +64,7 @@ __all__ = [
     "NeuralCostModel",
     "OtherEntity",
     "ParallelMeasurer",
+    "ProcessMeasurer",
     "ProgressEvent",
     "RPCMeasurer",
     "RandomTuner",
@@ -92,5 +93,6 @@ __all__ = [
     "rank_correlation",
     "register_template",
     "register_tuner",
+    "shutdown_measure_pools",
     "tune_tasks",
 ]

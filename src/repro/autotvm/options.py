@@ -66,6 +66,11 @@ class TuningOptions:
     measure_number: int = 2
     #: worker threads of the parallel batch measurer (1 = serial path)
     n_parallel: int = 4
+    #: batch-measurement backend: ``"thread"`` (default) runs builder/runner
+    #: workers on a thread pool; ``"process"`` runs them on a pool of worker
+    #: *processes* (outside the GIL).  Either way results are bit-identical
+    #: to the serial path (the noise RNG is derived per (seed, task, config))
+    measurer: str = "thread"
     #: warm-start the cost model from prior database entries of the same
     #: operator (transfer learning across sessions)
     warm_start: bool = True
@@ -83,6 +88,9 @@ class TuningOptions:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
         if self.n_parallel <= 0:
             raise ValueError(f"n_parallel must be positive, got {self.n_parallel}")
+        if self.measurer not in ("thread", "process"):
+            raise ValueError(f"measurer must be 'thread' or 'process', "
+                             f"got {self.measurer!r}")
         if self.early_stopping is not None and self.early_stopping <= 0:
             raise ValueError(
                 f"early_stopping must be positive or None, got {self.early_stopping}")

@@ -15,13 +15,15 @@ measurements run on 1 worker or 16.
 
 from __future__ import annotations
 
+import atexit
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.base import MeasureResult
 from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord
 
-__all__ = ["ParallelMeasurer"]
+__all__ = ["ParallelMeasurer", "ProcessMeasurer", "shutdown_measure_pools"]
 
 
 class ParallelMeasurer(LocalMeasurer):
@@ -67,3 +69,118 @@ class ParallelMeasurer(LocalMeasurer):
         result: MeasureResult = model.measure(built, number=self.number,
                                               rng=self._input_rng(inp))
         return MeasureResultRecord(inp, result.mean_time, built, error=result.error)
+
+
+# ---------------------------------------------------------------------------
+# Process-parallel measurement
+# ---------------------------------------------------------------------------
+
+#: measure worker pools shared across tuning sessions, keyed by
+#: (target name, target seed, worker count) — booting a pool costs an
+#: interpreter start per worker, so sessions reuse them
+_MEASURE_POOLS: Dict[Tuple[str, int, int], object] = {}
+_MEASURE_POOLS_LOCK = threading.Lock()
+
+
+def shutdown_measure_pools() -> None:
+    """Stop every shared measure worker pool (safe to call any time; pools
+    are re-created on demand).  Runs automatically at interpreter exit."""
+    with _MEASURE_POOLS_LOCK:
+        pools = list(_MEASURE_POOLS.values())
+        _MEASURE_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_measure_pools)
+
+
+def _measure_pool(target, n_workers: int):
+    from ..runtime.procpool import WorkerPool
+    from ..runtime.procpool.worker import measure_worker_main
+
+    key = (target.name, int(target.seed), int(n_workers))
+    with _MEASURE_POOLS_LOCK:
+        pool = _MEASURE_POOLS.get(key)
+        if pool is None:
+            spec = target.spec()
+            pool = WorkerPool(n_workers, measure_worker_main,
+                              lambda index: {"target_spec": spec},
+                              name=f"repro-measure-{target.name}")
+            _MEASURE_POOLS[key] = pool
+        return pool
+
+
+class ProcessMeasurer(LocalMeasurer):
+    """Builder/runner split over worker *processes* (outside the GIL).
+
+    Each batch's config indices are chunked across a shared pool of
+    measure worker processes; a ``MEASURE`` frame carries a self-contained
+    task definition (template kind + workload args through the
+    tuple-preserving codec) so a respawned worker needs no replayed state,
+    and replies carry only floats — features are re-derived in-parent by
+    the tuner's shared evaluation cache.  Because the measurement noise RNG
+    is derived per ``(seed, task, config index)`` exactly as in
+    :class:`~repro.autotvm.measure.LocalMeasurer`, results are
+    **bit-identical** to the serial and thread-parallel paths.
+
+    Duck-typed tasks without a ``template_kind`` (workers rebuild tasks from
+    the template registry) fall back to the serial path.
+    """
+
+    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0):
+        super().__init__(number=number, seed=seed)
+        if n_parallel <= 0:
+            raise ValueError(f"n_parallel must be positive, got {n_parallel}")
+        self.n_parallel = n_parallel
+
+    def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResultRecord]:
+        inputs = list(inputs)
+        if self.n_parallel == 1 or len(inputs) <= 1 \
+                or not self._eligible(inputs):
+            return super().measure(inputs)
+
+        task = inputs[0].task
+        pool = _measure_pool(task.target, self.n_parallel)
+        indices = [inp.config.index for inp in inputs]
+        chunks = [indices[worker::self.n_parallel]
+                  for worker in range(self.n_parallel)]
+        payload_base = {"task": task.name,
+                        "template_kind": task.template_kind,
+                        "args": tuple(task.args),
+                        "number": self.number, "seed": self.seed}
+
+        from ..runtime.procpool.protocol import MSG
+
+        def run_chunk(worker: int) -> List[Dict]:
+            if not chunks[worker]:
+                return []
+            reply = pool.request(worker, MSG.MEASURE,
+                                 {**payload_base, "indices": chunks[worker]},
+                                 expect=MSG.MEASURED)
+            return reply["results"]
+
+        with ThreadPoolExecutor(max_workers=self.n_parallel) as drivers:
+            outcomes = list(drivers.map(run_chunk, range(self.n_parallel)))
+
+        by_index: Dict[int, Dict] = {}
+        for chunk_results in outcomes:
+            for entry in chunk_results:
+                by_index[int(entry["index"])] = entry
+        records = []
+        for inp in inputs:
+            entry = by_index[inp.config.index]
+            seconds = entry.get("time")
+            records.append(MeasureResultRecord(
+                inp, float("inf") if seconds is None else float(seconds),
+                None, error=entry.get("error")))
+        self.num_measured += len(inputs)
+        return records
+
+    @staticmethod
+    def _eligible(inputs: Sequence[MeasureInput]) -> bool:
+        """Whole batch must be one registry-built task the workers can
+        reconstruct (the tuner measures one task per batch)."""
+        task = inputs[0].task
+        return (getattr(task, "template_kind", None) is not None
+                and all(inp.task is task for inp in inputs))

@@ -181,6 +181,11 @@ def extract_tasks(model, target=None, *, params=None, input_shapes=None
 
 def _make_measurer(options: TuningOptions, seed: int) -> LocalMeasurer:
     if options.n_parallel > 1:
+        if options.measurer == "process":
+            from .parallel import ProcessMeasurer
+
+            return ProcessMeasurer(n_parallel=options.n_parallel,
+                                   number=options.measure_number, seed=seed)
         return ParallelMeasurer(n_parallel=options.n_parallel,
                                 number=options.measure_number, seed=seed)
     return LocalMeasurer(number=options.measure_number, seed=seed)

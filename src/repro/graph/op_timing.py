@@ -173,7 +173,11 @@ def make_task_for_node(node: Node, target: Target) -> Optional[Task]:
     if signature is None:
         return None
     kind, args = signature
-    return Task(f"{kind}_{args}", _TEMPLATE_FACTORIES[kind](target), args, target)
+    task = Task(f"{kind}_{args}", _TEMPLATE_FACTORIES[kind](target), args, target)
+    # Lets a process-pool measure worker rebuild this task from plain data
+    # (template functions cannot cross a process boundary unpickled).
+    task.template_kind = kind
+    return task
 
 
 # ---------------------------------------------------------------------------

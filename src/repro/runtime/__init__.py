@@ -5,6 +5,9 @@ from .executor import ExecutionResult, Executor, InputSpec
 from .graph_executor import GraphExecutor, create
 from .ndarray import (DEVICE_TYPES, Context, Device, NDArray, array, cpu,
                       device, empty, gpu, mali, vdla)
+from .procpool import (ModuleWorkerPool, PoolShutdownError, ProcPoolError,
+                       ShmArena, WorkerCrash, WorkerError, WorkerPool,
+                       leaked_segments)
 from .rpc import RPCServer, RPCSession, Tracker, connect_tracker
 from .serving import InferenceEngine, InferenceFuture, serve
 
@@ -22,10 +25,17 @@ __all__ = [
     "InferenceEngine",
     "InferenceFuture",
     "InputSpec",
+    "ModuleWorkerPool",
     "NDArray",
+    "PoolShutdownError",
+    "ProcPoolError",
     "RPCServer",
     "RPCSession",
+    "ShmArena",
     "Tracker",
+    "WorkerCrash",
+    "WorkerError",
+    "WorkerPool",
     "array",
     "connect_tracker",
     "cpu",
@@ -36,6 +46,7 @@ __all__ = [
     "gpu",
     "graph_from_json",
     "graph_to_json",
+    "leaked_segments",
     "load",
     "load_module",
     "mali",

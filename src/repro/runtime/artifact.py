@@ -192,10 +192,13 @@ def _read_json(bundle: zipfile.ZipFile, entry: str, path) -> Dict:
     return payload
 
 
-def load_module(path) -> CompiledModule:
+def load_module(path, *, params=None) -> CompiledModule:
     """Load a module artifact written by :func:`export_module`.
 
-    This is the implementation behind ``repro.load``.
+    This is the implementation behind ``repro.load``.  ``params`` overrides
+    the bundle's ``params.npz`` with an externally supplied mapping of
+    parameter arrays — the process-pool workers pass zero-copy shared-memory
+    views here so N workers share one physical copy of the weights.
     """
     from ..compiler.instruments import PassRecord
 
@@ -228,9 +231,12 @@ def load_module(path) -> CompiledModule:
                 f"re-export the module with this version")
 
         graph = graph_from_json(_read_json(bundle, _GRAPH, path))
-        with np.load(io.BytesIO(bundle.read(_PARAMS)),
-                     allow_pickle=False) as archive:
-            params = {name: archive[name] for name in archive.files}
+        if params is None:
+            with np.load(io.BytesIO(bundle.read(_PARAMS)),
+                         allow_pickle=False) as archive:
+                params = {name: archive[name] for name in archive.files}
+        else:
+            params = dict(params)
 
     target = _load_target(manifest, path)
     nodes_by_name = {node.name: node for node in graph.nodes}

@@ -123,6 +123,16 @@ class NDArray:
     def asnumpy(self) -> np.ndarray:
         return np.array(self._data)
 
+    def numpy_view(self) -> np.ndarray:
+        """Zero-copy read-only view of the underlying host buffer.
+
+        Used by the shared-memory arena to pack tensors without an extra
+        copy; mutate through :meth:`copyfrom`, never through this view.
+        """
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
     def copyfrom(self, source: Union["NDArray", np.ndarray]) -> "NDArray":
         array_data = source.asnumpy() if isinstance(source, NDArray) else np.asarray(source)
         if array_data.shape != self._data.shape:

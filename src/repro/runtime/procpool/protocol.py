@@ -1,0 +1,103 @@
+"""Framed, pickle-free message protocol between the pool and its workers.
+
+Every message is one raw byte frame on a ``multiprocessing`` pipe
+(``send_bytes``/``recv_bytes`` — the object-pickling layer is never used):
+
+``[4s magic "RPP1"][u8 message type][u32 payload length][payload]``
+
+The payload is UTF-8 JSON encoded through the PR 4 artifact codec
+(:func:`repro.runtime.artifact` ``_encode_attr``/``_decode_attr``), so
+tuple-valued fields — e.g. tuning-task workload args, whose ``repr`` seeds
+deterministic fallback configs — survive the trip exactly.  Tensors never
+appear in a frame: they travel through :class:`~.shm.ShmArena` segments and
+frames carry only the arena spec (segment name + slot table).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Tuple
+
+from ..artifact import _decode_attr, _encode_attr
+
+__all__ = ["MSG", "ProtocolError", "send_msg", "recv_msg",
+           "encode_value", "decode_value"]
+
+_MAGIC = b"RPP1"
+_HEADER = struct.Struct("!4sBI")
+
+#: refuse absurd frames (tensor data must go through shm, not the pipe)
+_MAX_PAYLOAD = 32 * 1024 * 1024
+
+
+class MSG:
+    """Message types (u8 on the wire)."""
+
+    HELLO = 1       #: worker -> pool: boot complete (pid, boot timing)
+    PING = 2        #: pool -> worker: heartbeat probe
+    PONG = 3        #: worker -> pool: heartbeat reply
+    EXEC = 4        #: pool -> worker: execute a batch (arena spec + layout)
+    RESULT = 5      #: worker -> pool: batch done (per-request status, timings)
+    MEASURE = 6     #: pool -> worker: measure tuning configs (task def inline)
+    MEASURED = 7    #: worker -> pool: measured times (floats, no features)
+    SHUTDOWN = 8    #: pool -> worker: exit cleanly
+    BYE = 9         #: worker -> pool: acknowledging shutdown
+    ERROR = 10      #: worker -> pool: request failed (message + traceback)
+
+    _NAMES = {1: "HELLO", 2: "PING", 3: "PONG", 4: "EXEC", 5: "RESULT",
+              6: "MEASURE", 7: "MEASURED", 8: "SHUTDOWN", 9: "BYE",
+              10: "ERROR"}
+
+    @classmethod
+    def name(cls, kind: int) -> str:
+        return cls._NAMES.get(kind, f"?{kind}")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or oversized frame arrived on a pool connection."""
+
+
+def encode_value(value):
+    """Artifact-codec encode (tuples survive as ``{"py/tuple": [...]}``)."""
+    return _encode_attr(value)
+
+
+def decode_value(value):
+    return _decode_attr(value)
+
+
+def send_msg(conn, kind: int, payload: Dict) -> None:
+    """Send one framed message (header + JSON payload, no pickling)."""
+    body = json.dumps({key: _encode_attr(value)
+                       for key, value in payload.items()}).encode("utf-8")
+    if len(body) > _MAX_PAYLOAD:
+        raise ProtocolError(
+            f"Refusing to send a {len(body)}-byte {MSG.name(kind)} frame "
+            f"(max {_MAX_PAYLOAD}); tensor data must travel through shm "
+            f"arenas, not the pipe")
+    conn.send_bytes(_HEADER.pack(_MAGIC, kind, len(body)) + body)
+
+
+def recv_msg(conn) -> Tuple[int, Dict]:
+    """Receive one framed message (blocking); ``(kind, payload)``."""
+    frame = conn.recv_bytes()
+    if len(frame) < _HEADER.size:
+        raise ProtocolError(f"Short frame: {len(frame)} bytes")
+    magic, kind, length = _HEADER.unpack_from(frame)
+    if magic != _MAGIC:
+        raise ProtocolError(f"Bad frame magic {magic!r} (expected {_MAGIC!r})")
+    if length > _MAX_PAYLOAD:
+        raise ProtocolError(f"Oversized {MSG.name(kind)} frame: {length} bytes")
+    body = frame[_HEADER.size:]
+    if len(body) != length:
+        raise ProtocolError(f"Frame length mismatch: header says {length}, "
+                            f"got {len(body)}")
+    try:
+        raw = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"Undecodable {MSG.name(kind)} payload: {exc}") \
+            from exc
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"{MSG.name(kind)} payload is not an object")
+    return kind, {key: _decode_attr(value) for key, value in raw.items()}

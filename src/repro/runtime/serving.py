@@ -24,7 +24,9 @@ NumPy BLAS kernels are not bitwise batch-invariant).
 
 from __future__ import annotations
 
+import os
 import queue
+import tempfile
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -181,9 +183,19 @@ class InferenceEngine:
                  devices: Union[None, int, Sequence[DeviceLike]] = None,
                  max_batch: int = 8, timeout_ms: float = 2.0,
                  tracker=None, rpc_key: Optional[str] = None,
-                 lease_timeout: float = 10.0):
+                 lease_timeout: float = 10.0, pool: str = "thread",
+                 bundle_path: Optional[str] = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', "
+                             f"got {pool!r}")
+        if pool == "process" and tracker is not None:
+            raise ValueError(
+                "pool='process' workers own their devices directly and "
+                "cannot hold tracker leases; serve with pool='thread' to "
+                "combine dynamic batching with an RPC device pool")
+        self.pool_kind = pool
         self.module = module
         self.devices = self._resolve_devices(module, devices)
         self.timeout_s = max(timeout_ms, 0.0) / 1000.0
@@ -220,9 +232,45 @@ class InferenceEngine:
                     session.release()
                 raise
 
-        self._executors = [Executor(module, dev) for dev in self.devices]
+        # Execution back-end: per-device Executors on worker *threads*
+        # (pool="thread"), or one worker *process* per device mapped onto a
+        # shared-memory parameter arena (pool="process" — true parallelism
+        # outside the GIL; see runtime/procpool/).
+        self._procpool = None
+        self._owned_bundle: Optional[str] = None
+        if pool == "process":
+            from .procpool import ModuleWorkerPool
+
+            if bundle_path is None:
+                # Workers boot from an exported artifact; when handed a live
+                # module the engine exports (and owns) a temporary bundle.
+                handle, bundle_path = tempfile.mkstemp(prefix="repro-serve-",
+                                                       suffix=".module")
+                os.close(handle)
+                self._owned_bundle = bundle_path
+                from .artifact import export_module
+
+                try:
+                    export_module(module, bundle_path)
+                except BaseException:
+                    os.unlink(bundle_path)
+                    raise
+            try:
+                self._procpool = ModuleWorkerPool(module, bundle_path,
+                                                  self.devices)
+            except BaseException:
+                if self._owned_bundle is not None:
+                    os.unlink(self._owned_bundle)
+                raise
+            self._executors: List[Executor] = []
+        else:
+            self._executors = [Executor(module, dev) for dev in self.devices]
         self._requests: "queue.Queue" = queue.Queue()
-        self._worker_queues = [queue.Queue() for _ in self._executors]
+        self._worker_queues = [queue.Queue() for _ in self.devices]
+        #: indices of worker threads that died (never dispatch to them) and
+        #: the error that killed each — see _abandon_worker
+        self._dead_workers: set = set()
+        self._worker_errors: Dict[int, BaseException] = {}
 
         # -- statistics (guarded by _stats_lock) -------------------------------
         self._stats_lock = threading.Lock()
@@ -231,7 +279,7 @@ class InferenceEngine:
         self._occupancy: Dict[int, int] = {}
         self._wall_latencies: List[float] = []
         self._sim_latencies: List[float] = []
-        self._device_busy = [0.0 for _ in self._executors]
+        self._device_busy = [0.0 for _ in self.devices]
         self._started_at = time.monotonic()
         self._stopped_at: Optional[float] = None
 
@@ -242,7 +290,7 @@ class InferenceEngine:
         self._workers = [
             threading.Thread(target=self._worker_loop, args=(i,), daemon=True,
                              name=f"repro-serve-worker-{self.devices[i]}")
-            for i in range(len(self._executors))]
+            for i in range(len(self.devices))]
         for worker in self._workers:
             worker.start()
         self._batcher = threading.Thread(target=self._batcher_loop,
@@ -337,18 +385,37 @@ class InferenceEngine:
 
     def _dispatch(self, batch: List[_Request]) -> None:
         with self._stats_lock:
-            index = self._n_batches % len(self._worker_queues)
-            self._n_batches += 1
-            self._occupancy[len(batch)] = self._occupancy.get(len(batch), 0) + 1
+            alive = [i for i in range(len(self._worker_queues))
+                     if i not in self._dead_workers]
+            if alive:
+                index = alive[self._n_batches % len(alive)]
+                self._n_batches += 1
+                self._occupancy[len(batch)] = \
+                    self._occupancy.get(len(batch), 0) + 1
+        if not alive:
+            error = RuntimeError(
+                "every serving worker has died; the engine cannot serve "
+                f"(first failure: {next(iter(self._worker_errors.values()), None)!r})")
+            for request in batch:
+                request.future._reject(error)
+            return
         self._worker_queues[index].put(batch)
+        # Close the dispatch/death race: the worker may have died between
+        # the aliveness check and the put, leaving this batch stranded.
+        with self._stats_lock:
+            died = index in self._dead_workers
+        if died:
+            self._drain_rejecting(index)
 
     # ------------------------------------------------------------------ workers
     def _worker_loop(self, index: int) -> None:
         worker_queue = self._worker_queues[index]
+        batch: Optional[List[_Request]] = None
         try:
             while True:
                 batch = worker_queue.get()
                 if batch is _SHUTDOWN:
+                    batch = None
                     break
                 try:
                     if self._sessions:
@@ -360,6 +427,16 @@ class InferenceEngine:
                     for request in batch:
                         if not request.future.done():
                             request.future._reject(exc)
+                batch = None
+        except BaseException as exc:   # noqa: BLE001 — see _abandon_worker
+            # The batch in flight when the thread died was already popped
+            # from the queue — reject it here or its callers hang forever.
+            if batch is not None:
+                for request in batch:
+                    if not request.future.done():
+                        request.future._reject(exc)
+            self._abandon_worker(index, exc)
+            raise
         finally:
             # The worker owns its device lease: release only once no more
             # batches can reach it, so a shutdown(wait=False) can never yank
@@ -367,8 +444,40 @@ class InferenceEngine:
             if self._sessions:
                 self._sessions[index].release()
 
+    def _abandon_worker(self, index: int, error: BaseException) -> None:
+        """A worker thread is dying: propagate failure, never hang clients.
+
+        Every future already queued to the worker is rejected, and
+        :meth:`_dispatch` stops routing new batches to it (rejecting
+        immediately once no workers remain).  The process pool honours the
+        same contract one level down — a worker *process* crash surfaces as
+        an exception in :meth:`_run_batch`, resolving every pending future —
+        so no failure mode leaves a caller blocked on ``future.result()``.
+        """
+        with self._stats_lock:
+            self._dead_workers.add(index)
+            self._worker_errors.setdefault(index, error)
+        self._drain_rejecting(index)
+
+    def _drain_rejecting(self, index: int) -> None:
+        with self._stats_lock:
+            cause = self._worker_errors.get(index)
+        error = RuntimeError(
+            f"serving worker for {self.devices[index]} died: {cause!r}")
+        error.__cause__ = cause
+        worker_queue = self._worker_queues[index]
+        while True:
+            try:
+                batch = worker_queue.get_nowait()
+            except queue.Empty:
+                return
+            if batch is _SHUTDOWN:
+                continue
+            for request in batch:
+                if not request.future.done():
+                    request.future._reject(error)
+
     def _run_batch(self, index: int, batch: List[_Request]) -> None:
-        executor = self._executors[index]
         rows = len(batch) * self.native_batch
         try:
             batch_time, _per_kernel = self._cost.times_for(rows)
@@ -376,19 +485,33 @@ class InferenceEngine:
             for request in batch:
                 request.future._reject(exc)
             return
+        if self._procpool is not None:
+            # One round trip to worker process `index`: inputs and outputs
+            # travel through a per-batch shm arena; each entry is the
+            # request's output arrays or its per-request error.  Worker death
+            # is respawned + retried inside the pool; an exhausted retry
+            # raises and _worker_loop rejects the whole batch.
+            outcomes = self._procpool.run_batch(
+                index, [request.inputs for request in batch])
+        else:
+            executor = self._executors[index]
+            outcomes = []
+            for request in batch:
+                try:
+                    outcomes.append(executor._execute(request.inputs).outputs)
+                except Exception as exc:
+                    outcomes.append(exc)
         wall_latencies = []
-        for request in batch:
-            try:
-                result = executor._execute(request.inputs)
-            except Exception as exc:
-                request.future._reject(exc)
-                continue
+        for request, outcome in zip(batch, outcomes):
             future = request.future
+            if isinstance(outcome, Exception):
+                future._reject(outcome)
+                continue
             future.simulated_latency = batch_time
             future.batch_size = len(batch)
             future.wall_latency = time.monotonic() - request.enqueued_at
             wall_latencies.append(future.wall_latency)
-            future._resolve(result.outputs)
+            future._resolve(outcome)
         with self._stats_lock:
             self._n_requests += len(batch)
             self._device_busy[index] += batch_time
@@ -429,9 +552,10 @@ class InferenceEngine:
         makespan = max(busy) if busy else 0.0
         mean_occupancy = (sum(size * count for size, count in occupancy.items())
                           / batches) if batches else 0.0
-        return {
+        result = {
             "requests": requests,
             "batches": batches,
+            "pool": self.pool_kind,
             "devices": [str(dev) for dev in self.devices],
             "max_batch": self.max_batch,
             "native_batch": self.native_batch,
@@ -450,6 +574,9 @@ class InferenceEngine:
                 "latency": self._percentiles(wall),
             },
         }
+        if self._procpool is not None:
+            result["process_workers"] = self._procpool.stats()
+        return result
 
     # ------------------------------------------------------------------ lifecycle
     def shutdown(self, wait: bool = True) -> None:
@@ -468,8 +595,30 @@ class InferenceEngine:
             self._batcher.join()
             for worker in self._workers:
                 worker.join()
+            self._finalize_pool()
+        elif self._procpool is not None or self._owned_bundle is not None:
+            threading.Thread(target=self._deferred_finalize, daemon=True,
+                             name="repro-serve-finalize").start()
         with self._stats_lock:
             self._stopped_at = time.monotonic()
+
+    def _deferred_finalize(self) -> None:
+        self._batcher.join()
+        for worker in self._workers:
+            worker.join()
+        self._finalize_pool()
+
+    def _finalize_pool(self) -> None:
+        """Stop the worker processes (if any), unlink every shm segment the
+        pool created, and delete the engine-owned temporary bundle."""
+        if self._procpool is not None:
+            self._procpool.shutdown()
+        if self._owned_bundle is not None:
+            try:
+                os.unlink(self._owned_bundle)
+            except OSError:
+                pass
+            self._owned_bundle = None
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -481,7 +630,8 @@ class InferenceEngine:
 def serve(module_or_path: Union[CompiledModule, str], *,
           devices: Union[None, int, Sequence[DeviceLike]] = None,
           max_batch: int = 8, timeout_ms: float = 2.0,
-          tracker=None, rpc_key: Optional[str] = None) -> InferenceEngine:
+          tracker=None, rpc_key: Optional[str] = None,
+          pool: str = "thread") -> InferenceEngine:
     """Start an inference engine over a compiled module or artifact path.
 
     Parameters
@@ -501,13 +651,23 @@ def serve(module_or_path: Union[CompiledModule, str], *,
         Lease each worker's device exclusively from an
         :class:`~repro.runtime.rpc.Tracker` pool (the paper's remote device
         pool), releasing the leases on shutdown.
+    pool:
+        ``"thread"`` (default) runs one worker thread + Executor per device;
+        ``"process"`` runs one worker *process* per device over a
+        shared-memory parameter arena (true parallelism outside the GIL;
+        outputs stay bit-identical).  Incompatible with ``tracker=``.
     """
+    bundle_path: Optional[str] = None
     if isinstance(module_or_path, CompiledModule):
         module = module_or_path
     else:
         from .artifact import load_module
 
         module = load_module(module_or_path)
+        # Process workers can boot straight from the caller's bundle — no
+        # re-export needed.
+        bundle_path = str(module_or_path)
     return InferenceEngine(module, devices=devices, max_batch=max_batch,
                            timeout_ms=timeout_ms, tracker=tracker,
-                           rpc_key=rpc_key)
+                           rpc_key=rpc_key, pool=pool,
+                           bundle_path=bundle_path)

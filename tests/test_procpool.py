@@ -1,0 +1,310 @@
+"""Tests for the process-parallel worker pool (``repro.runtime.procpool``):
+shared-memory arenas, the framed dispatch protocol's end-to-end behaviour,
+worker death / respawn, bit-identical serving and measurement, and the
+no-leaked-``/dev/shm``-segments contract."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autotvm import LocalMeasurer, ProcessMeasurer, extract_tasks
+from repro.autotvm.measure import MeasureInput
+from repro.frontend import ModelBuilder
+from repro.hardware import cuda
+from repro.runtime import Executor, ModuleWorkerPool, ShmArena, leaked_segments
+from repro.runtime.artifact import export_module, load_module
+
+
+def _small_cnn():
+    b = ModelBuilder("small", seed=0)
+    data = b.input("data", (1, 3, 16, 16))
+    net = b.relu(b.batch_norm(b.conv2d(data, 8, 3, 1, 1, name="conv0")))
+    net = b.max_pool2d(net, 2, 2)
+    net = b.flatten(net)
+    net = b.softmax(b.dense(net, 10, "fc"))
+    graph, params = b.finalize(net)
+    return graph, params, {"data": (1, 3, 16, 16)}
+
+
+@pytest.fixture(scope="module")
+def module():
+    return repro.compile(_small_cnn(), target=cuda())
+
+
+@pytest.fixture(scope="module")
+def bundle(module, tmp_path_factory):
+    path = tmp_path_factory.mktemp("procpool") / "small.module"
+    export_module(module, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def requests_and_expected(module):
+    rng = np.random.default_rng(5)
+    inputs = [rng.random((1, 3, 16, 16)).astype("float32") for _ in range(6)]
+    solo = Executor(module)
+    expected = [solo(x)[0].asnumpy() for x in inputs]
+    return inputs, expected
+
+
+def _wait_for(condition, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# ---------------------------------------------------------------------------
+# ShmArena
+# ---------------------------------------------------------------------------
+
+class TestShmArena:
+    def test_pack_reserve_spec_attach_roundtrip(self):
+        payload = np.arange(24, dtype="float32").reshape(2, 3, 4)
+        arena = ShmArena.create({"x": payload},
+                                reserve={"y": ((2, 3, 4), "float32")})
+        try:
+            assert arena.name in leaked_segments()
+            np.testing.assert_array_equal(arena.view("x"), payload)
+            assert not arena.view("x").flags.writeable
+            np.testing.assert_array_equal(arena.view("y"), np.zeros((2, 3, 4)))
+
+            # Attach from the spec (as a worker would) and write the reserved
+            # slot: the creator must see the bytes with no copy in between.
+            attached = ShmArena.attach(arena.spec())
+            try:
+                attached.view("y", writeable=True)[...] = payload * 2
+            finally:
+                attached.close()
+            np.testing.assert_array_equal(arena.read("y"), payload * 2)
+        finally:
+            arena.unlink()
+        assert leaked_segments() == []
+
+    def test_only_the_creator_may_unlink(self):
+        arena = ShmArena.create({"x": np.ones(4, dtype="float32")})
+        try:
+            attached = ShmArena.attach(arena.spec())
+            with pytest.raises(ValueError, match="creating process"):
+                attached.unlink()
+            attached.close()
+        finally:
+            arena.unlink()
+
+    def test_unlink_is_idempotent(self):
+        arena = ShmArena.create({"x": np.ones(4, dtype="float32")})
+        arena.unlink()
+        arena.unlink()
+        assert leaked_segments() == []
+
+    def test_slot_collision_and_unknown_slot(self):
+        with pytest.raises(ValueError, match="both packed and reserved"):
+            ShmArena.create({"x": np.ones(2, dtype="float32")},
+                            reserve={"x": ((2,), "float32")})
+        arena = ShmArena.create({"x": np.ones(2, dtype="float32")})
+        try:
+            with pytest.raises(KeyError, match="Unknown arena slot"):
+                arena.view("nope")
+        finally:
+            arena.unlink()
+
+
+# ---------------------------------------------------------------------------
+# ModuleWorkerPool (direct)
+# ---------------------------------------------------------------------------
+
+class TestModuleWorkerPool:
+    def test_batch_outputs_bit_identical_to_solo(self, module, bundle,
+                                                 requests_and_expected):
+        inputs, expected = requests_and_expected
+        kind = module.target.device_type
+        with ModuleWorkerPool(module, bundle, [f"{kind}:0", f"{kind}:1"]) as pool:
+            outcomes = pool.run_batch(0, [{"data": x} for x in inputs[:3]])
+            outcomes += pool.run_batch(1, [{"data": x} for x in inputs[3:]])
+            for outcome, want in zip(outcomes, expected):
+                assert not isinstance(outcome, Exception)
+                np.testing.assert_array_equal(outcome[0], want)
+            stats = pool.stats()
+            assert [s["index"] for s in stats] == [0, 1]
+            for s in stats:
+                assert s["requests"] == 1 and s["alive"]
+                assert s["execute_s"] > 0.0 and s["shm_copy_s"] > 0.0
+        assert leaked_segments() == []
+
+    def test_kill9_mid_service_respawns_and_recovers(self, module, bundle,
+                                                     requests_and_expected):
+        inputs, expected = requests_and_expected
+        kind = module.target.device_type
+        pool = ModuleWorkerPool(module, bundle, [f"{kind}:0"])
+        try:
+            first = pool.run_batch(0, [{"data": inputs[0]}])
+            np.testing.assert_array_equal(first[0][0], expected[0])
+            victim = pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # Dispatching into the dead worker must respawn it and retry the
+            # same self-contained batch, transparently to the caller.
+            again = pool.run_batch(0, [{"data": x} for x in inputs])
+            for outcome, want in zip(again, expected):
+                np.testing.assert_array_equal(outcome[0], want)
+            stats = pool.stats()[0]
+            assert stats["respawns"] >= 1
+            assert pool.pids()[0] != victim
+        finally:
+            pool.shutdown()
+        assert leaked_segments() == []
+
+    def test_heartbeat_respawns_idle_dead_worker(self, module, bundle):
+        kind = module.target.device_type
+        pool = ModuleWorkerPool(module, bundle, [f"{kind}:0"],
+                                heartbeat_interval=0.2)
+        try:
+            victim = pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            _wait_for(lambda: pool.alive()[0] and pool.pids()[0] != victim,
+                      timeout=30.0, message="heartbeat respawn")
+            assert pool.stats()[0]["respawns"] >= 1
+        finally:
+            pool.shutdown()
+        assert leaked_segments() == []
+
+    def test_abnormal_shutdown_leaves_no_segments(self, module, bundle):
+        kind = module.target.device_type
+        pool = ModuleWorkerPool(module, bundle, [f"{kind}:0", f"{kind}:1"])
+        assert leaked_segments() != []      # the params arena exists
+        for pid in pool.pids():
+            os.kill(pid, signal.SIGKILL)
+        pool.shutdown()
+        assert leaked_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Serving integration
+# ---------------------------------------------------------------------------
+
+class TestProcessServing:
+    def test_thread_and_process_fingerprints_bit_identical(
+            self, module, requests_and_expected):
+        inputs, expected = requests_and_expected
+        results = {}
+        for pool in ("thread", "process"):
+            with repro.serve(module, devices=2, max_batch=2, timeout_ms=50,
+                             pool=pool) as engine:
+                results[pool] = engine.infer_many(
+                    [{"data": x} for x in inputs], timeout=60)
+                assert engine.stats()["pool"] == pool
+        for thread_out, process_out, want in zip(results["thread"],
+                                                 results["process"], expected):
+            assert thread_out[0].tobytes() == process_out[0].tobytes()
+            np.testing.assert_array_equal(process_out[0], want)
+        assert leaked_segments() == []
+
+    def test_engine_survives_worker_process_kill(self, module,
+                                                 requests_and_expected):
+        inputs, expected = requests_and_expected
+        with repro.serve(module, devices=2, max_batch=1, timeout_ms=5,
+                         pool="process") as engine:
+            engine.infer(data=inputs[0], timeout=60)
+            os.kill(engine._procpool.pids()[0], signal.SIGKILL)
+            results = engine.infer_many([{"data": x} for x in inputs],
+                                        timeout=60)
+            for got, want in zip(results, expected):
+                np.testing.assert_array_equal(got[0], want)
+            workers = engine.stats()["process_workers"]
+            assert sum(w["respawns"] for w in workers) >= 1
+        assert leaked_segments() == []
+
+    def test_process_pool_rejects_tracker(self, module):
+        with pytest.raises(ValueError, match="tracker"):
+            repro.serve(module, pool="process", tracker=object(),
+                        rpc_key="dev")
+
+    def test_unknown_pool_kind_rejected(self, module):
+        with pytest.raises(ValueError, match="pool"):
+            repro.serve(module, pool="fork")
+
+
+class _WorkerThreadDeath(BaseException):
+    """Deliberately not an Exception: escapes the per-batch error handling."""
+
+
+class TestThreadWorkerDeath:
+    # The dying worker thread re-raises after cleanup (by design); keep
+    # pytest's unhandled-thread-exception bookkeeping quiet about it.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_dying_worker_thread_rejects_futures_and_engine_serves_on(
+            self, module, requests_and_expected):
+        inputs, expected = requests_and_expected
+        engine = repro.serve(module, devices=2, max_batch=1, timeout_ms=5)
+        try:
+            def boom(validated):
+                raise _WorkerThreadDeath("executor melted")
+
+            engine._executors[0]._execute = boom
+            futures = [engine.submit(data=x) for x in inputs]
+            outcomes = []
+            for future in futures:
+                # The contract under test: every future resolves — with the
+                # propagated failure or a result — and never hangs.
+                try:
+                    outcomes.append(future.result(timeout=30))
+                except (RuntimeError, _WorkerThreadDeath):
+                    outcomes.append(None)
+            rejected = sum(1 for outcome in outcomes if outcome is None)
+            assert rejected >= 1
+            # Worker 0 is dead; dispatch must route around it from now on.
+            _wait_for(lambda: 0 in engine._dead_workers,
+                      message="worker 0 marked dead")
+            after = engine.infer_many([{"data": x} for x in inputs],
+                                      timeout=30)
+            for got, want in zip(after, expected):
+                np.testing.assert_array_equal(got[0], want)
+        finally:
+            engine.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Artifact params override
+# ---------------------------------------------------------------------------
+
+def test_load_module_with_externally_mapped_params(module, bundle):
+    plain = load_module(bundle)
+    override = {name: np.array(value) for name, value in plain.params.items()}
+    mapped = load_module(bundle, params=override)
+    x = np.random.default_rng(9).random((1, 3, 16, 16)).astype("float32")
+    np.testing.assert_array_equal(Executor(mapped)(x)[0].asnumpy(),
+                                  Executor(plain)(x)[0].asnumpy())
+
+
+# ---------------------------------------------------------------------------
+# ProcessMeasurer
+# ---------------------------------------------------------------------------
+
+def test_process_measurer_bit_identical_to_serial(module):
+    import random
+
+    tasks = extract_tasks(_small_cnn(), target=cuda())
+    task = tasks[0]
+    assert getattr(task, "template_kind", None) is not None
+    configs = task.config_space.sample(8, rng=random.Random(0))
+    inputs = [MeasureInput(task, config) for config in configs]
+
+    serial = LocalMeasurer(number=3, seed=5).measure(inputs)
+    procs = ProcessMeasurer(n_parallel=2, number=3, seed=5).measure(inputs)
+    assert len(procs) == len(serial)
+    for serial_rec, proc_rec in zip(serial, procs):
+        assert proc_rec.input.config.index == serial_rec.input.config.index
+        assert proc_rec.mean_time == serial_rec.mean_time   # bit-identical
+        assert proc_rec.error == serial_rec.error
+
+    from repro.autotvm.parallel import _MEASURE_POOLS, shutdown_measure_pools
+    pool, = _MEASURE_POOLS.values()
+    assert sum(s["requests"] for s in pool.stats()) >= 2
+    shutdown_measure_pools()
+    assert leaked_segments() == []
