@@ -107,6 +107,21 @@ def print_series(title: str, rows: List[Tuple[str, Dict[str, float]]],
         print(line + f"   [{unit}]")
 
 
+def eval_cache_rates() -> Dict[str, float]:
+    """Per-cache hit rates of the shared evaluation caches, as BENCH_SUMMARY
+    fields (``{lowered,features}_cache_hit_rate`` plus raw hit counters)."""
+    from repro.autotvm import eval_cache_stats
+
+    fields: Dict[str, float] = {}
+    for cache, stats in eval_cache_stats().items():
+        lookups = stats["hits"] + stats["misses"]
+        fields[f"{cache}_cache_hit_rate"] = (
+            round(stats["hits"] / lookups, 4) if lookups else 0.0)
+        fields[f"{cache}_cache_hits"] = stats["hits"]
+        fields[f"{cache}_cache_misses"] = stats["misses"]
+    return fields
+
+
 def emit_summary(suite: str, data: Dict[str, object]) -> None:
     """Print the benchmark's single machine-readable summary line.
 
@@ -116,10 +131,14 @@ def emit_summary(suite: str, data: Dict[str, object]) -> None:
         BENCH_SUMMARY {"suite": "serving", ...}
 
     Values must be JSON-serialisable; keep the payload small (headline
-    numbers, not full row dumps).
+    numbers, not full row dumps).  The shared evaluation-cache hit rates are
+    attached to every line automatically (explicit same-named fields in
+    ``data`` win), so cross-task cache payoff is visible in CI for every
+    suite.
     """
-    print("BENCH_SUMMARY " + json.dumps({"suite": suite, **data},
-                                        sort_keys=True, default=float))
+    print("BENCH_SUMMARY " + json.dumps(
+        {"suite": suite, **eval_cache_rates(), **data},
+        sort_keys=True, default=float))
 
 
 def conv_graph(batch, in_channels, height, width, out_channels, kernel, stride,

@@ -20,7 +20,7 @@ from .cost_model import (
     RegressionTree,
     rank_correlation,
 )
-from .database import TuningDatabase, TuningLogEntry
+from .database import DatabaseWriteConflictError, TuningDatabase, TuningLogEntry
 from .measure import LocalMeasurer, MeasureInput, MeasureResultRecord, RPCMeasurer
 from .options import ProgressEvent, TuningOptions
 from .parallel import ParallelMeasurer, ProcessMeasurer, shutdown_measure_pools
@@ -32,6 +32,7 @@ from .session import (
     extract_tasks,
     tune_tasks,
 )
+from .service import ServiceClient, TuningService, schedule_zoo
 from .space import ConfigEntity, ConfigSpace, OtherEntity, SplitEntity
 from .task import TEMPLATE_REGISTRY, Task, create_task, get_template, register_template
 from .treernn import ASTNode, TreeRNNCostModel, build_ast
@@ -49,6 +50,7 @@ __all__ = [
     "ApplyHistoryBest",
     "ConfigEntity",
     "ConfigSpace",
+    "DatabaseWriteConflictError",
     "FEATURE_CACHE",
     "LOWERED_CACHE",
     "clear_eval_caches",
@@ -69,6 +71,7 @@ __all__ = [
     "RPCMeasurer",
     "RandomTuner",
     "RegressionTree",
+    "ServiceClient",
     "SimulatedAnnealingOptimizer",
     "SplitEntity",
     "TEMPLATE_REGISTRY",
@@ -84,6 +87,7 @@ __all__ = [
     "TuningOptions",
     "TuningRecord",
     "TuningReport",
+    "TuningService",
     "autotune",
     "create_task",
     "extract_tasks",
@@ -93,6 +97,7 @@ __all__ = [
     "rank_correlation",
     "register_template",
     "register_tuner",
+    "schedule_zoo",
     "shutdown_measure_pools",
     "tune_tasks",
 ]

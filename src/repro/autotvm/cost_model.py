@@ -321,6 +321,24 @@ class RegressionTree:
             out[i] = node["value"]
         return out
 
+    # -- serialization ------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """JSON-able snapshot of the fitted tree (plain ints/floats only)."""
+        return {"max_depth": self.max_depth,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_thresholds": self.max_thresholds,
+                "tree": self.tree_}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "RegressionTree":
+        tree = cls(max_depth=spec["max_depth"],
+                   min_samples_leaf=spec["min_samples_leaf"],
+                   max_thresholds=spec["max_thresholds"])
+        tree.tree_ = spec["tree"]
+        if tree.tree_ is not None:
+            tree._flat = tree._flatten(tree.tree_)
+        return tree
+
 
 class GradientBoostedTrees:
     """Gradient tree boosting with squared-error or pairwise rank objectives."""
@@ -457,6 +475,33 @@ class GradientBoostedTrees:
         signed[1::2] = -weights
         np.add.at(grad, indices, signed)
         return grad
+
+    # -- serialization ------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """JSON-able snapshot of the fitted ensemble.
+
+        A model fitted on one host and restored on another via
+        :meth:`from_spec` predicts **bit-identically** (prediction only reads
+        the tree node arrays, the base score and the learning rate) — this is
+        how the tuning service ships its pretrained cost model to clients.
+        """
+        return {"kind": "gbt", "num_rounds": self.num_rounds,
+                "learning_rate": self.learning_rate,
+                "max_depth": self.max_depth, "loss": self.loss,
+                "num_pairs": self.num_pairs, "seed": self.seed,
+                "base_score": self.base_score,
+                "trees": [tree.to_spec() for tree in self.trees]}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "GradientBoostedTrees":
+        model = cls(num_rounds=spec["num_rounds"],
+                    learning_rate=spec["learning_rate"],
+                    max_depth=spec["max_depth"], loss=spec["loss"],
+                    num_pairs=spec["num_pairs"], seed=spec["seed"])
+        model.base_score = spec["base_score"]
+        model.trees = [RegressionTree.from_spec(s) for s in spec["trees"]]
+        model._stack_trees()
+        return model
 
     # -- inference ----------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:

@@ -12,6 +12,16 @@ memory nor (via :meth:`compact`) the on-disk log.  An entry may carry the
 feature vector of its lowered program, which lets a later session warm-start
 its cost model from history of the *same operator* even when the exact
 workload (and hence the configuration space) differs.
+
+Concurrency: one JSONL log has exactly one writer.  The first persisting
+write takes an exclusive ``flock`` on a ``<path>.lock`` sidecar, so a second
+process (or a second instance in this process) that tries to write the same
+path fails loudly with :class:`DatabaseWriteConflictError` instead of
+silently interleaving appends.  Appends are flushed and fsynced, and
+:meth:`compact` rewrites through a temp file + atomic rename, so readers
+never observe a torn log.  The sanctioned multi-writer path is the tuning
+service (:mod:`repro.autotvm.service`), which funnels every client through
+the single database its server owns.
 """
 
 from __future__ import annotations
@@ -21,7 +31,22 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["TuningLogEntry", "TuningDatabase", "operator_of"]
+try:
+    import fcntl
+except ImportError:  # non-POSIX: no inter-process write locking
+    fcntl = None
+
+__all__ = ["TuningLogEntry", "TuningDatabase", "DatabaseWriteConflictError",
+           "operator_of"]
+
+
+class DatabaseWriteConflictError(RuntimeError):
+    """Two writers opened the same tuning log for writing.
+
+    Concurrent sessions must not append to one JSONL path directly — run a
+    :class:`repro.autotvm.service.TuningService` over the file and point the
+    sessions at it instead.
+    """
 
 
 def operator_of(task_name: str) -> str:
@@ -81,8 +106,53 @@ class TuningDatabase:
         # best entry per (task, target) — kernel_time queries this on every
         # templated node of every compile, so it must stay O(1)
         self._best: Dict[Tuple[str, str], TuningLogEntry] = {}
+        self._lock_fd: Optional[int] = None
         if path and os.path.exists(path):
             self.load(path)
+
+    # ------------------------------------------------------------ writer lock
+    def _acquire_write_lock(self) -> None:
+        """Take the exclusive writer lock for ``self.path`` (idempotent).
+
+        Raises :class:`DatabaseWriteConflictError` when another database —
+        in this process or any other — already writes to the same path.
+        """
+        if self._lock_fd is not None or not self.path or fcntl is None:
+            return
+        fd = os.open(self.path + ".lock", os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise DatabaseWriteConflictError(
+                f"Tuning log {self.path!r} already has a writer (lock file "
+                f"{self.path + '.lock'!r} is held). Two sessions appending to "
+                f"one JSONL would corrupt it — run a tuning service over the "
+                f"file (repro.autotvm.service.TuningService) and pass "
+                f"TuningOptions(service=...) to the sessions instead.")
+        os.ftruncate(fd, 0)
+        os.write(fd, f"{os.getpid()}\n".encode())
+        self._lock_fd = fd
+
+    def close(self) -> None:
+        """Release the on-disk writer lock (if held)."""
+        if self._lock_fd is not None:
+            try:
+                os.close(self._lock_fd)     # closing the fd drops the flock
+            finally:
+                self._lock_fd = None
+
+    def __enter__(self) -> "TuningDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _index(self, entry: TuningLogEntry) -> None:
         best_key = (entry.task_name, entry.target_name)
@@ -105,8 +175,11 @@ class TuningDatabase:
         self._by_key[entry.key] = entry
         self._index(entry)
         if self.path:
+            self._acquire_write_lock()
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(entry.to_json() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         return True
 
     def record(self, task, config, mean_time: float,
@@ -137,12 +210,25 @@ class TuningDatabase:
                     existing.features = list(entry.features)
 
     def compact(self) -> None:
-        """Rewrite the on-disk log with exactly the deduped in-memory entries."""
+        """Rewrite the on-disk log with exactly the deduped in-memory entries.
+
+        The rewrite is atomic (temp file + rename into place), so a reader —
+        or a crash mid-compaction — never observes a half-written log.
+        """
         if not self.path:
             return
-        with open(self.path, "w", encoding="utf-8") as handle:
-            for entry in self._by_key.values():
-                handle.write(entry.to_json() + "\n")
+        self._acquire_write_lock()
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for entry in self._by_key.values():
+                    handle.write(entry.to_json() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
 
     def best(self, task_name: str, target_name: Optional[str] = None
              ) -> Optional[TuningLogEntry]:

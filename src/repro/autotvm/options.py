@@ -74,6 +74,15 @@ class TuningOptions:
     #: warm-start the cost model from prior database entries of the same
     #: operator (transfer learning across sessions)
     warm_start: bool = True
+    #: shared tuning service to tune against: a ``"host:port"`` address or a
+    #: connected :class:`repro.autotvm.service.ServiceClient`.  ``None`` (the
+    #: default) tunes locally — the current, serviceless behaviour.  With a
+    #: service, measurements any client already made are deduplicated
+    #: globally, session bests are published for cross-session transfer, and
+    #: the service's pretrained cost model (when it has one) cuts cold-start
+    #: trials.  A single session against a fresh service produces the exact
+    #: serviceless report.
+    service: Optional[object] = None
     #: guarantee the recorded best never loses to the compiler's untuned
     #: fallback heuristic: if it does, the fallback configuration is recorded
     #: instead, so history-based compilation cannot regress a build

@@ -1,0 +1,36 @@
+"""Distributed tuning service: one shared database, many tuning sessions.
+
+The paper scales tuning by pooling devices behind an RPC tracker (Section
+5.4); this package pools the *knowledge* the fleet produces.  A
+:class:`TuningService` owns the single authoritative
+:class:`~repro.autotvm.database.TuningDatabase`; sessions join it with
+``TuningOptions(service="host:port")`` and get, for free:
+
+* global measurement dedup — a ``(task, target, config)`` any client
+  measured is never measured again anywhere;
+* cross-session, cross-shape transfer — session bests (with features) feed
+  every later session's cost-model warm start;
+* a pretrained cost model, fitted at service startup on the accumulated
+  database, so cold sessions explore model-guided from the first batch.
+
+A single session against a fresh service behaves bit-identically to tuning
+locally.  :func:`schedule_zoo` drives the whole model zoo through one
+service.
+"""
+
+from .client import ServiceClient, ServiceDedupMeasurer, connect
+from .protocol import MSG, ServiceProtocolError
+from .server import TuningService
+from .zoo import DEFAULT_ZOO, schedule_zoo, trials_to_target
+
+__all__ = [
+    "MSG",
+    "ServiceClient",
+    "ServiceDedupMeasurer",
+    "ServiceProtocolError",
+    "TuningService",
+    "DEFAULT_ZOO",
+    "connect",
+    "schedule_zoo",
+    "trials_to_target",
+]

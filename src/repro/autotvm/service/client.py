@@ -1,0 +1,236 @@
+"""Client side of the tuning service: connection + dedup measurer.
+
+:class:`ServiceClient` is the thin connection a tuning session holds to a
+:class:`~repro.autotvm.service.server.TuningService`; sessions normally get
+one implicitly by passing ``TuningOptions(service="host:port")``.
+:class:`ServiceDedupMeasurer` wraps the session's ordinary batch measurer
+and consults the service before measuring: candidates any client in the
+fleet already measured are answered from the service's trial store, fresh
+measurements are pushed back for everyone else.
+
+Because local measurement is deterministic per ``(seed, task, config)``
+(see :class:`~repro.autotvm.measure.LocalMeasurer`), a dedup hit returns
+exactly the value this session would have measured itself — so skipping the
+work cannot change the tuning trajectory of identically-seeded sessions.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cost_model import GradientBoostedTrees
+from ..database import TuningLogEntry
+from ..measure import MeasureInput, MeasureResultRecord
+from .protocol import MSG, ServiceProtocolError, recv_frame, send_frame
+
+__all__ = ["ServiceClient", "ServiceDedupMeasurer", "connect"]
+
+#: (task name, target name, config index) — the dedup key of one trial
+TrialKey = Tuple[str, str, int]
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"Service address must be 'host:port', got {address!r}")
+    return host, int(port)
+
+
+class ServiceClient:
+    """A connection to a running tuning service.
+
+    Thread-safe: one request-reply exchange holds the connection lock, so a
+    session's measurer and its progress callbacks may share one client.
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, address: str, timeout: float = 30.0):
+        self.address = address
+        host, port = _parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._lock = threading.Lock()
+        self._closed = False
+        welcome = self._request(MSG.HELLO, {"pid": os.getpid()},
+                                expect=MSG.WELCOME)
+        self.server_entries = int(welcome.get("entries", 0))
+
+    # ------------------------------------------------------------ transport
+    def _request(self, kind: int, payload: Dict, expect: int) -> Dict:
+        with self._lock:
+            if self._closed:
+                raise ServiceProtocolError(
+                    f"Client for {self.address} is closed")
+            send_frame(self._sock, kind, payload)
+            reply_kind, reply = recv_frame(self._sock)
+        if reply_kind == MSG.ERROR:
+            raise ServiceProtocolError(
+                f"{MSG.name(kind)} failed on {self.address}: "
+                f"{reply.get('message')}")
+        if reply_kind != expect:
+            raise ServiceProtocolError(
+                f"Expected {MSG.name(expect)} reply to {MSG.name(kind)}, "
+                f"got {MSG.name(reply_kind)}")
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------ trial store
+    def lookup(self, keys: Sequence[TrialKey]) -> List[Optional[Dict]]:
+        """Per key: ``{"time", "error"}`` if any client measured it, else
+        ``None`` (aligned with ``keys``)."""
+        if not keys:
+            return []
+        reply = self._request(MSG.LOOKUP, {"keys": [list(k) for k in keys]},
+                              expect=MSG.FOUND)
+        return reply["results"]
+
+    def push_trials(self, records: Sequence[Dict]) -> int:
+        """Publish raw trial measurements (dicts with ``task``, ``target``,
+        ``config_index``, ``time``, optional ``error``); returns how many
+        were new to the service."""
+        if not records:
+            return 0
+        reply = self._request(MSG.PUSH, {"records": list(records)},
+                              expect=MSG.ACK)
+        return int(reply.get("new", 0))
+
+    # ------------------------------------------------------------ best store
+    def record_best(self, entry: TuningLogEntry) -> bool:
+        """Publish a session's floored best entry to the shared database."""
+        from .server import _entry_payload
+
+        reply = self._request(MSG.RECORD, {"entry": _entry_payload(entry)},
+                              expect=MSG.ACK)
+        return bool(reply.get("new", 0))
+
+    def best_for(self, task_name: str, target_name: Optional[str] = None
+                 ) -> Optional[TuningLogEntry]:
+        """Best known entry for a workload across every session so far."""
+        from .server import entry_from_payload
+
+        reply = self._request(MSG.BEST, {"task": task_name,
+                                         "target": target_name},
+                              expect=MSG.ENTRIES)
+        entries = reply.get("entries", [])
+        return entry_from_payload(entries[0]) if entries else None
+
+    def warm_entries(self, operator: str, target_name: Optional[str] = None
+                     ) -> List[TuningLogEntry]:
+        """All shared entries of an operator family, in recording order —
+        transfer-learning food for
+        :meth:`~repro.autotvm.tuner.ModelBasedTuner.warm_start`."""
+        from .server import entry_from_payload
+
+        reply = self._request(MSG.WARM, {"operator": operator,
+                                         "target": target_name},
+                              expect=MSG.ENTRIES)
+        return [entry_from_payload(p) for p in reply.get("entries", [])]
+
+    def pretrained_model(self, operator: str, target_name: str
+                         ) -> Optional[GradientBoostedTrees]:
+        """The service's startup-pretrained cost model for an operator
+        family on a target, or ``None`` when it has none."""
+        reply = self._request(MSG.MODEL, {"operator": operator,
+                                          "target": target_name},
+                              expect=MSG.MODEL_SPEC)
+        spec = reply.get("model")
+        return GradientBoostedTrees.from_spec(spec) if spec else None
+
+    # ------------------------------------------------------------ control
+    def stats(self) -> Dict[str, int]:
+        """Service-side counters (dedup hits, trials stored, clients...)."""
+        return self._request(MSG.STATS, {}, expect=MSG.STATS_REPLY)
+
+    def shutdown_service(self) -> None:
+        """Ask the service to stop (its owner still joins threads via
+        :meth:`~repro.autotvm.service.server.TuningService.stop`)."""
+        self._request(MSG.SHUTDOWN, {}, expect=MSG.BYE)
+
+
+def connect(address: str, timeout: float = 30.0) -> ServiceClient:
+    """Connect to a tuning service at ``"host:port"``."""
+    return ServiceClient(address, timeout=timeout)
+
+
+class ServiceDedupMeasurer:
+    """Batch measurer that skips candidates the fleet already measured.
+
+    Wraps the session's real measurer: each batch is first looked up on the
+    service; hits become :class:`MeasureResultRecord`\\ s directly (features
+    ``None`` — consumers refeaturise through the shared evaluation cache),
+    misses are measured locally and pushed back for other clients.  Results
+    come back in input order, so the tuner cannot tell the difference.
+    """
+
+    def __init__(self, base, client: ServiceClient):
+        self.base = base
+        self.client = client
+        self.dedup_hits = 0         #: measurements skipped thanks to the fleet
+
+    @property
+    def number(self) -> int:
+        return self.base.number
+
+    @property
+    def seed(self) -> int:
+        return self.base.seed
+
+    @property
+    def num_measured(self) -> int:
+        return self.base.num_measured
+
+    def measure(self, inputs: Sequence[MeasureInput]
+                ) -> List[MeasureResultRecord]:
+        keys = [(inp.task.name, inp.task.target.name, inp.config.index)
+                for inp in inputs]
+        hits = self.client.lookup(keys)
+        results: List[Optional[MeasureResultRecord]] = [None] * len(inputs)
+        misses: List[MeasureInput] = []
+        positions: List[int] = []
+        for i, (inp, hit) in enumerate(zip(inputs, hits)):
+            if hit is None:
+                misses.append(inp)
+                positions.append(i)
+            else:
+                self.dedup_hits += 1
+                results[i] = MeasureResultRecord(inp, float(hit["time"]),
+                                                 None, error=hit.get("error"))
+        if misses:
+            measured = self.base.measure(misses)
+            self.client.push_trials([
+                {"task": rec.input.task.name,
+                 "target": rec.input.task.target.name,
+                 "config_index": rec.input.config.index,
+                 "time": rec.mean_time, "error": rec.error,
+                 # feature vectors ride along so the service can pretrain its
+                 # cost models on every trial the fleet ever measured
+                 "features": ([float(v) for v in rec.features.vector()]
+                              if rec.features is not None else None)}
+                for rec in measured])
+            for pos, rec in zip(positions, measured):
+                results[pos] = rec
+        return results

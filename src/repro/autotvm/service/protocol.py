@@ -1,0 +1,122 @@
+"""Framed JSON message protocol of the tuning service.
+
+Same framing discipline as the process-pool pipe protocol
+(:mod:`repro.runtime.procpool.protocol`), carried over a TCP socket instead
+of a ``multiprocessing`` pipe:
+
+``[4s magic "RTS1"][u8 message type][u32 payload length][payload]``
+
+The payload is UTF-8 JSON encoded through the artifact codec
+(:func:`repro.runtime.artifact` ``_encode_attr``/``_decode_attr``) so
+tuple-valued fields — workload args, config values — survive the trip
+exactly.  Python's ``json`` round-trips ``inf`` (as ``Infinity``) and float
+``repr`` is shortest-exact, so measured times arrive bit-identical, which
+the service's dedup guarantee depends on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Tuple
+
+__all__ = ["MSG", "ServiceProtocolError", "send_frame", "recv_frame"]
+
+
+def _codec():
+    # Imported lazily: repro.runtime.artifact itself imports the compiler
+    # package (and through it this one), so a module-level import here would
+    # turn any import that *starts* at runtime.artifact — e.g. a procpool
+    # worker booting from an exported artifact — into a circular-import crash.
+    from ...runtime.artifact import _decode_attr, _encode_attr
+    return _encode_attr, _decode_attr
+
+_MAGIC = b"RTS1"
+_HEADER = struct.Struct("!4sBI")
+
+#: a frame carries log entries / model specs, never tensors — cap it
+_MAX_PAYLOAD = 32 * 1024 * 1024
+
+
+class MSG:
+    """Message types (u8 on the wire)."""
+
+    HELLO = 1      #: client -> server: introduce (pid)
+    WELCOME = 2    #: server -> client: accepted (server pid, entry count)
+    LOOKUP = 3     #: client -> server: were these (task, target, config) measured?
+    FOUND = 4      #: server -> client: per-key hit (time/error) or null
+    PUSH = 5       #: client -> server: raw trial measurements just made
+    RECORD = 6     #: client -> server: a session's floored best entry
+    ACK = 7        #: server -> client: push/record accepted (new-entry count)
+    BEST = 8       #: client -> server: best entry for (task, target)?
+    WARM = 9       #: client -> server: transfer entries for an operator
+    ENTRIES = 10   #: server -> client: log entries (BEST/WARM reply)
+    MODEL = 11     #: client -> server: pretrained cost model for an operator?
+    MODEL_SPEC = 12  #: server -> client: serialized model or null
+    STATS = 13     #: client -> server: service counters?
+    STATS_REPLY = 14  #: server -> client: the counters
+    SHUTDOWN = 15  #: client -> server: stop the service
+    BYE = 16       #: server -> client: acknowledging shutdown
+    ERROR = 17     #: server -> client: request failed (message)
+
+    _NAMES = {1: "HELLO", 2: "WELCOME", 3: "LOOKUP", 4: "FOUND", 5: "PUSH",
+              6: "RECORD", 7: "ACK", 8: "BEST", 9: "WARM", 10: "ENTRIES",
+              11: "MODEL", 12: "MODEL_SPEC", 13: "STATS", 14: "STATS_REPLY",
+              15: "SHUTDOWN", 16: "BYE", 17: "ERROR"}
+
+    @classmethod
+    def name(cls, kind: int) -> str:
+        return cls._NAMES.get(kind, f"?{kind}")
+
+
+class ServiceProtocolError(RuntimeError):
+    """A malformed, truncated or oversized frame arrived on a connection."""
+
+
+def send_frame(sock: socket.socket, kind: int, payload: Dict) -> None:
+    """Send one framed message (header + JSON payload)."""
+    _encode_attr, _ = _codec()
+    body = json.dumps({key: _encode_attr(value)
+                       for key, value in payload.items()}).encode("utf-8")
+    if len(body) > _MAX_PAYLOAD:
+        raise ServiceProtocolError(
+            f"Refusing to send a {len(body)}-byte {MSG.name(kind)} frame "
+            f"(max {_MAX_PAYLOAD})")
+    sock.sendall(_HEADER.pack(_MAGIC, kind, len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"Connection closed mid-frame ({count - remaining}/{count} "
+                f"bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, Dict]:
+    """Receive one framed message (blocking); ``(kind, payload)``."""
+    header = _recv_exact(sock, _HEADER.size)
+    magic, kind, length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise ServiceProtocolError(
+            f"Bad frame magic {magic!r} (expected {_MAGIC!r})")
+    if length > _MAX_PAYLOAD:
+        raise ServiceProtocolError(
+            f"Oversized {MSG.name(kind)} frame: {length} bytes")
+    body = _recv_exact(sock, length)
+    try:
+        raw = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(
+            f"Undecodable {MSG.name(kind)} payload: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ServiceProtocolError(f"{MSG.name(kind)} payload is not an object")
+    _, _decode_attr = _codec()
+    return kind, {key: _decode_attr(value) for key, value in raw.items()}

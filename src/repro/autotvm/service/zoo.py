@@ -1,0 +1,124 @@
+"""Tune the model zoo against one shared tuning service.
+
+:func:`schedule_zoo` is the fleet driver: it runs a tuning session per
+model-zoo network, all pointed at the same :class:`TuningService`, so
+workloads shared between networks (and between invocations, when the
+service persists its database) are measured once, transfer across shapes,
+and pretrain the service's cost models for the next run.  It reports the
+two throughput numbers the service exists to improve — wall seconds per
+measurement trial, and trials needed to reach each workload's best — as
+JSON-ready rows (``benchmarks/bench_tuning.py`` wraps this into
+``BENCH_tuning.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..options import TuningOptions
+
+__all__ = ["schedule_zoo", "trials_to_target", "DEFAULT_ZOO"]
+
+#: zoo networks tuned by default — one large CNN, one mobile CNN, one MLP-ish
+#: control net; enough shape diversity to exercise cross-model sharing
+DEFAULT_ZOO = ("resnet-18", "mobilenet", "dqn")
+
+
+def trials_to_target(curve: Sequence[float], target_time: float,
+                     rtol: float = 0.05) -> Optional[int]:
+    """First (1-based) trial whose best-so-far time is within ``rtol`` of
+    ``target_time`` — the convergence-speed metric of a tuning curve.
+    ``None`` when the curve never gets there."""
+    if not curve or not math.isfinite(target_time):
+        return None
+    threshold = target_time * (1.0 + rtol)
+    for trial, value in enumerate(curve):
+        if value <= threshold:
+            return trial + 1
+    return None
+
+
+def schedule_zoo(models: Sequence[str] = DEFAULT_ZOO, target: str = "cuda",
+                 service=None, trials: int = 16,
+                 options: Optional[TuningOptions] = None,
+                 output_path: Optional[str] = None) -> Dict[str, object]:
+    """Tune every model in ``models`` against one shared tuning service.
+
+    Parameters
+    ----------
+    models:
+        Model-zoo names (anything :func:`repro.autotune` accepts by name).
+    target:
+        Target short name or :class:`~repro.hardware.target.Target`.
+    service:
+        A running :class:`~repro.autotvm.service.TuningService`, a
+        ``"host:port"`` address, or ``None`` to boot a private in-memory
+        service just for this drive (stopped before returning).
+    trials / options:
+        Per-task trial budget and the remaining session knobs.
+    output_path:
+        When given, the returned document is also written there as JSON
+        (the ``BENCH_tuning.json`` artifact).
+
+    Returns a JSON-ready document: one row per (model, workload) with
+    ``seconds_per_trial`` and ``trials_to_target``, plus the service's
+    final counters.
+    """
+    import repro
+
+    from .server import TuningService
+
+    owned_service: Optional[TuningService] = None
+    if service is None:
+        service = owned_service = TuningService().start()
+    address = service if isinstance(service, str) else service.address
+
+    opts = (options or TuningOptions()).overridden(trials=trials,
+                                                   service=address)
+    rows: List[Dict[str, object]] = []
+    stats: Optional[Dict[str, int]] = None
+    started = time.perf_counter()
+    try:
+        for model in models:
+            report = repro.autotune(model, target=target, options=opts)
+            stats = report.service_stats
+            for result in report:
+                per_trial = (result.elapsed / result.trials
+                             if result.trials else float("nan"))
+                rows.append({
+                    "model": model,
+                    "workload": result.task_name,
+                    "space": len(result.task.config_space),
+                    "trials": result.trials,
+                    "elapsed_s": round(result.elapsed, 4),
+                    "seconds_per_trial": round(per_trial, 6),
+                    "best_time_s": result.estimate,
+                    # convergence speed: trials to get within 5% of the best
+                    # measured time this session ends at
+                    "trials_to_target": trials_to_target(result.curve,
+                                                         result.best_time),
+                    "dedup_hits": result.dedup_hits,
+                    "warm_samples": result.warm_samples,
+                    "pretrained": result.pretrained,
+                    "floored": result.floored,
+                })
+    finally:
+        if owned_service is not None:
+            owned_service.stop()
+
+    document = {
+        "target": target if isinstance(target, str) else target.name,
+        "models": list(models),
+        "trials": trials,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+        "workloads": rows,
+        "service_stats": stats,
+    }
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return document

@@ -63,6 +63,8 @@ class TaskTuningResult:
     elapsed: float                  #: wall seconds spent on this task
     warm_samples: int = 0           #: historical samples used for warm start
     floored: bool = False           #: fallback config won; it was recorded instead
+    dedup_hits: int = 0             #: measurements answered by the tuning service
+    pretrained: bool = False        #: started from the service's pretrained model
 
     @property
     def task_name(self) -> str:
@@ -84,6 +86,8 @@ class TuningReport:
     target_name: str
     options: TuningOptions
     elapsed: float = 0.0
+    #: tuning-service counters at session end (``None`` when tuned locally)
+    service_stats: Optional[Dict[str, int]] = None
 
     def apply_history_best(self) -> ApplyHistoryBest:
         """Context manager under which ``repro.compile`` uses these configs."""
@@ -179,6 +183,31 @@ def extract_tasks(model, target=None, *, params=None, input_shapes=None
 # The session
 # ---------------------------------------------------------------------------
 
+def _resolve_service(service):
+    """``options.service`` -> ``(client or None, whether we own it)``.
+
+    Accepts ``None``, a ``"host:port"`` address, a running
+    :class:`~repro.autotvm.service.TuningService`, or an already-connected
+    :class:`~repro.autotvm.service.ServiceClient` (which the caller keeps
+    owning).
+    """
+    if service is None:
+        return None, False
+    # Imported lazily: sessions without a service never touch the package.
+    from .service.client import ServiceClient, connect
+    from .service.server import TuningService
+
+    if isinstance(service, str):
+        return connect(service), True
+    if isinstance(service, TuningService):
+        return connect(service.address), True
+    if isinstance(service, ServiceClient):
+        return service, False
+    raise TypeError(
+        f"TuningOptions.service must be None, a 'host:port' address, a "
+        f"TuningService or a ServiceClient, got {type(service).__name__}")
+
+
 def _make_measurer(options: TuningOptions, seed: int) -> LocalMeasurer:
     if options.n_parallel > 1:
         if options.measurer == "process":
@@ -228,18 +257,47 @@ def _progress_callback(task_index: int, num_tasks: int,
 
 
 def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
-                   options: TuningOptions, database: TuningDatabase
-                   ) -> TaskTuningResult:
+                   options: TuningOptions, database: TuningDatabase,
+                   client=None) -> TaskTuningResult:
     start = time.perf_counter()
     seed = options.seed + task_index
     tuner_cls = get_tuner(options.tuner)
     tuner = tuner_cls(task, seed=seed, **dict(options.tuner_args))
 
+    # With a tuning service, history flows in from the whole fleet: shared
+    # entries merge with local history for the warm start, and the service's
+    # startup-pretrained cost model (if it has one for this operator/target)
+    # guides even the first batch.  A fresh service contributes neither, so a
+    # solo session stays bit-identical to tuning locally.
+    warm_db = database
+    if client is not None:
+        merged = TuningDatabase()
+        for entry in client.warm_entries(task.operator, task.target.name):
+            merged.add(entry)
+        for entry in database:
+            merged.add(entry)
+        warm_db = merged
+
     warm_samples = 0
-    if options.warm_start and len(database) and hasattr(tuner, "warm_start"):
-        warm_samples = tuner.warm_start(database)
+    if options.warm_start and len(warm_db) and hasattr(tuner, "warm_start"):
+        warm_samples = tuner.warm_start(warm_db)
+
+    # Adopted *after* the warm start on purpose: the service's model is fit
+    # on the fleet's full trial history, so it outranks a model warm-fitted
+    # from the handful of recorded bests.  The warm samples stay in the
+    # tuner's training set and fold into its first refit.
+    pretrained = False
+    if client is not None and hasattr(tuner, "adopt_pretrained"):
+        model = client.pretrained_model(task.operator, task.target.name)
+        if model is not None:
+            tuner.adopt_pretrained(model)
+            pretrained = True
 
     measurer = _make_measurer(options, seed)
+    if client is not None:
+        from .service.client import ServiceDedupMeasurer
+
+        measurer = ServiceDedupMeasurer(measurer, client)
     best = tuner.tune(n_trial=options.trials, measurer=measurer,
                       batch_size=options.batch_size,
                       callback=_progress_callback(task_index, num_tasks,
@@ -276,32 +334,46 @@ def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
             estimate = fb_time
             floored = True
 
-    database.record(task, config, estimate, features=features)
+    entry = database.record(task, config, estimate, features=features)
+    if client is not None:
+        client.record_best(entry)
+    dedup_hits = getattr(measurer, "dedup_hits", 0)
     elapsed = time.perf_counter() - start
-    logger.info("%s: %d trials in %.1fs, best %.3e s (%d-config space)%s",
+    logger.info("%s: %d trials in %.1fs, best %.3e s (%d-config space)%s%s",
                 task.name, len(tuner.records), elapsed, estimate,
                 len(task.config_space),
-                f", warm start {warm_samples}" if warm_samples else "")
+                f", warm start {warm_samples}" if warm_samples else "",
+                f", {dedup_hits} deduped" if dedup_hits else "")
     return TaskTuningResult(task=task, best_config=config,
                             best_time=tuner.best_time, estimate=estimate,
                             curve=tuner.best_history(),
                             trials=len(tuner.records), elapsed=elapsed,
-                            warm_samples=warm_samples, floored=floored)
+                            warm_samples=warm_samples, floored=floored,
+                            dedup_hits=dedup_hits, pretrained=pretrained)
 
 
 def _run_session(pairs: Sequence[Tuple[Task, object]], options: TuningOptions,
                  database: Optional[TuningDatabase], target_name: str
                  ) -> TuningReport:
     get_tuner(options.tuner)          # fail loudly before any work
+    client, owned_client = _resolve_service(options.service)
     database = database if database is not None else TuningDatabase()
     start = time.perf_counter()
-    logger.info("tuning session: %d tasks x %d trials (tuner=%s, target=%s)",
-                len(pairs), options.trials, options.tuner, target_name)
-    results = [_tune_one_task(task, node, i, len(pairs), options, database)
-               for i, (task, node) in enumerate(pairs)]
+    logger.info("tuning session: %d tasks x %d trials (tuner=%s, target=%s%s)",
+                len(pairs), options.trials, options.tuner, target_name,
+                ", shared service" if client is not None else "")
+    try:
+        results = [_tune_one_task(task, node, i, len(pairs), options,
+                                  database, client=client)
+                   for i, (task, node) in enumerate(pairs)]
+        stats = client.stats() if client is not None else None
+    finally:
+        if owned_client and client is not None:
+            client.close()
     report = TuningReport(results=results, database=database,
                           target_name=target_name, options=options,
-                          elapsed=time.perf_counter() - start)
+                          elapsed=time.perf_counter() - start,
+                          service_stats=stats)
     logger.info("tuning session done: %d tasks, %d trials, %.1fs",
                 len(report.results), report.total_trials, report.elapsed)
     return report

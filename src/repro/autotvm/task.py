@@ -76,7 +76,8 @@ class _FailureMarker:
 class Task:
     """One operator-tuning problem."""
 
-    def __init__(self, name: str, template: Callable, args: Tuple, target: Target):
+    def __init__(self, name: str, template: Callable, args: Tuple, target: Target,
+                 workload: Optional[str] = None):
         self.name = name
         self.template = template
         self.args = tuple(args)
@@ -86,9 +87,16 @@ class Task:
         # registered with its candidates.
         self.template(self.config_space, *self.args)
         self._flop: Optional[float] = None
-        # Shared-cache identity: the workload args are part of the key so two
-        # same-named tasks over different workloads never share lowerings.
-        self._cache_prefix = (self.name, repr(self.args), self.target.name)
+        # Shared-cache identity: normalized to *what is lowered* — the
+        # template (``workload`` names it; the function's qualified name is
+        # the fallback), the workload args, and the target — never the
+        # user-chosen task name.  Two tasks that reach the same workload
+        # under different names (a benchmark task vs the compiler's
+        # extraction, a conv2d_transpose vs its unit-stride conv2d
+        # equivalent) therefore share lowering/featurisation cache entries.
+        self.workload = workload if workload is not None else \
+            f"{template.__module__}.{template.__qualname__}"
+        self._cache_prefix = (self.workload, repr(self.args), self.target.name)
 
     # ------------------------------------------------------------------ api
     @property
@@ -172,8 +180,16 @@ class Task:
                 f"space={len(self.config_space)})")
 
 
-def create_task(name: str, template: Callable, args: Sequence, target: Target) -> Task:
-    """Create a tuning task from a template callable or registered name."""
+def create_task(name: str, template: Callable, args: Sequence, target: Target,
+                workload: Optional[str] = None) -> Task:
+    """Create a tuning task from a template callable or registered name.
+
+    ``workload`` optionally names the template for the shared evaluation
+    caches; a registered template's name is used automatically, so identical
+    workloads reached from differently-named tasks share cache entries.
+    """
     if isinstance(template, str):
+        if workload is None:
+            workload = template
         template = get_template(template)
-    return Task(name, template, tuple(args), target)
+    return Task(name, template, tuple(args), target, workload=workload)

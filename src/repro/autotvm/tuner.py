@@ -371,6 +371,14 @@ class ModelBasedTuner(Tuner):
             self._trained = True
 
     # -- transfer learning -----------------------------------------------------
+    def adopt_pretrained(self, cost_model) -> None:
+        """Adopt a cost model pretrained elsewhere (e.g. fitted by the tuning
+        service on its accumulated database) so exploration is model-guided
+        from the very first batch.  Later :meth:`update` refits replace it
+        once this session has gathered its own measurements."""
+        self.cost_model = cost_model
+        self._trained = True
+
     def warm_start(self, database, max_entries: int = 128) -> int:
         """Seed the cost model from prior measurements of the same operator.
 

@@ -558,6 +558,22 @@ class TestWarmStart:
                                     database=first.database)
         assert second.results[0].warm_samples > 0
 
+    def test_cross_shape_transfer_through_public_api(self):
+        # History of conv shape A, gathered through plain repro.autotune,
+        # warm-starts a session on a *different* conv shape B — and cannot
+        # make B's recorded best worse than tuning B cold.
+        opts = TuningOptions(trials=16, seed=0)
+        shape_a = repro.autotune(conv_graph(co=32), target=cuda(),
+                                 options=opts)
+        cold = repro.autotune(conv_graph(co=48), target=cuda(), options=opts)
+        warm = repro.autotune(conv_graph(co=48), target=cuda(), options=opts,
+                              database=shape_a.database)
+        warm_result, = warm.results
+        cold_result, = cold.results
+        assert warm_result.task_name != shape_a.results[0].task_name
+        assert warm_result.warm_samples > 0
+        assert warm_result.estimate <= cold_result.estimate * (1 + 1e-9)
+
 
 # ---------------------------------------------------------------------------
 # The issue's acceptance round trip, verbatim: a zoo model tuned end to end

@@ -157,6 +157,34 @@ class TestTaskEvalCache:
         assert small.features_of(0).total_flops \
             != large.features_of(0).total_flops
 
+    def test_different_names_same_workload_share_entries(self, fresh_caches):
+        # Cache keys are normalised on the *workload* (template identity +
+        # args + target), not the task name, so identically-shaped tasks
+        # registered under different names share one lowering/featurisation.
+        from repro.autotvm import create_task
+        from repro.topi import nn as topi_nn
+        from repro.topi.schedules import gpu as gpu_sched
+        from repro import te
+
+        def matmul_template(cfg, m, n, k):
+            a = te.placeholder((m, k), name="A")
+            b = te.placeholder((k, n), name="B")
+            c = topi_nn.matmul(a, b)
+            return gpu_sched.matmul_gpu_template(cfg, a, b, c)
+
+        alpha = create_task("alpha_mm", matmul_template, (8, 8, 8), cuda())
+        beta = create_task("beta_mm", matmul_template, (8, 8, 8), cuda())
+        assert alpha.name != beta.name
+        assert alpha.workload == beta.workload
+        alpha.features_of(1)
+        stats = eval_cache_stats()
+        misses = stats["features"]["misses"]
+        hits = stats["features"]["hits"]
+        beta.features_of(1)              # different name, same workload: hit
+        stats = eval_cache_stats()
+        assert stats["features"]["misses"] == misses
+        assert stats["features"]["hits"] == hits + 1
+
     def test_cached_failure_traceback_does_not_grow(self, small_task):
         original = small_task.template
         small_task.template = lambda cfg, *args: (_ for _ in ()).throw(
