@@ -1,0 +1,363 @@
+"""Chaos benchmark: serving and tuning under deterministic fault injection.
+
+Runs the serving engine and the distributed tuning service through a seeded
+:class:`repro.faults.FaultPlan` (worker SIGKILLs, torn/dropped frames, slow
+RPC replies, transient connection refusals, a service killed mid-run) and
+enforces the robustness contract as hard gates, writing
+``BENCH_chaos.json`` next to this file:
+
+* **zero hung futures** — every submitted request resolves or raises a
+  *typed* error within the timeout; no caller is ever left blocked;
+* **bit-identical survivors** — every response that does arrive is
+  byte-for-byte equal to the fault-free run (kills and retries never
+  corrupt or duplicate work);
+* **bounded shedding** — only requests with deliberately tight deadlines
+  (plus the explicitly cancelled ones) may be shed; overall failure rate
+  stays under 50% even while workers are being SIGKILLed;
+* **degraded tuning is exact** — a tuning session whose service dies
+  mid-run (while frames are being dropped and replies stalled) completes
+  with a report bit-identical to tuning with no service at all;
+* **no leaks** — no ``/dev/shm`` segment, no stray thread, and no
+  installed fault plan survives the run.
+
+Usage::
+
+    python benchmarks/bench_chaos.py            # full run
+    python benchmarks/bench_chaos.py --smoke    # CI-sized (same gates)
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.autotvm import TuningOptions
+from repro.autotvm.service import TuningService, connect
+from repro.faults import FaultPlan, FaultSpec, active_plan
+from repro.frontend import ModelBuilder
+from repro.hardware import cuda
+from repro.runtime import (DeadlineExceeded, Executor, InferenceEngine,
+                           QueueFull, RequestCancelled, ServingError)
+from repro.runtime.procpool import leaked_segments
+
+from common import emit_summary
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_chaos.json"
+
+RESULT_TIMEOUT_S = 180.0       #: per-future bound; anything slower is "hung"
+TYPED_ERRORS = (DeadlineExceeded, QueueFull, RequestCancelled, ServingError,
+                RuntimeError)
+
+
+def _small_cnn():
+    b = ModelBuilder("chaos-cnn", seed=0)
+    data = b.input("data", (1, 3, 16, 16))
+    net = b.relu(b.batch_norm(b.conv2d(data, 8, 3, 1, 1, name="conv0")))
+    net = b.max_pool2d(net, 2, 2)
+    net = b.flatten(net)
+    net = b.softmax(b.dense(net, 10, "fc"))
+    graph, params = b.finalize(net)
+    return graph, params, {"data": (1, 3, 16, 16)}
+
+
+def _tuning_fingerprint(report) -> str:
+    rows = {r.task_name: (r.best_config.index, r.estimate, tuple(r.curve))
+            for r in report}
+    return hashlib.sha256(
+        json.dumps({k: list(map(repr, v)) for k, v in sorted(rows.items())},
+                   sort_keys=True).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: serving under worker kills + torn pipe frames
+# ---------------------------------------------------------------------------
+
+def run_serve_chaos(module, n_requests: int) -> dict:
+    rng = np.random.default_rng(0)
+    inputs = [rng.random((1, 3, 16, 16)).astype("float32")
+              for _ in range(n_requests)]
+    solo = Executor(module)
+    reference = [solo.run({"data": x}).outputs[0] for x in inputs]
+
+    tight = set(range(7, n_requests, 8))       #: sacrificial 1ms deadlines
+    to_cancel = {3, n_requests - 2} - tight
+
+    plan = FaultPlan(seed=7, faults=[
+        FaultSpec("worker_kill", at=[1, 4], max_count=2,
+                  match={"pool": "repro-serve-pool"}),
+        FaultSpec("frame_truncate", protocol="RPP1", after=6, max_count=2),
+    ])
+    engine = InferenceEngine(module, devices=2, max_batch=4, timeout_ms=50,
+                             max_queue=256, pool="process")
+    futures = []
+    try:
+        with plan:
+            for i, x in enumerate(inputs):
+                deadline_ms = 1.0 if i in tight else 120_000.0
+                futures.append(engine.submit(
+                    data=x, deadline_ms=deadline_ms, priority=i % 3))
+            cancelled = sum(futures[i].cancel() for i in to_cancel)
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(RESULT_TIMEOUT_S))
+                except TimeoutError:
+                    outcomes.append("HUNG")
+                except TYPED_ERRORS as exc:
+                    outcomes.append(exc)
+                except BaseException as exc:  # noqa: BLE001 — gate: untyped
+                    outcomes.append(("UNTYPED", exc))
+    finally:
+        engine.shutdown()
+
+    hung = sum(1 for o in outcomes if o == "HUNG")
+    untyped = sum(1 for o in outcomes
+                  if isinstance(o, tuple) and o and o[0] == "UNTYPED")
+    mismatched = resolved = failed = 0
+    for i, outcome in enumerate(outcomes):
+        if isinstance(outcome, list):
+            resolved += 1
+            if not np.array_equal(outcome[0], reference[i]):
+                mismatched += 1
+        elif isinstance(outcome, BaseException):
+            failed += 1
+    stats = engine.stats()
+    respawns = sum(w["respawns"] for w in stats.get("process_workers", []))
+    failure_rate = (n_requests - resolved) / n_requests
+    gates = {
+        "zero_hung_futures": hung == 0,
+        "zero_untyped_errors": untyped == 0,
+        "survivors_bit_identical": mismatched == 0,
+        "failure_rate_bounded": failure_rate <= 0.5,
+        "faults_actually_fired": plan.total_injected() >= 1,
+        "killed_workers_respawned": respawns >= 1,
+    }
+    return {
+        "scenario": "serve-chaos",
+        "requests": n_requests,
+        "tight_deadlines": len(tight),
+        "cancelled": cancelled,
+        "resolved": resolved,
+        "failed_typed": failed,
+        "hung": hung,
+        "untyped_errors": untyped,
+        "mismatched_outputs": mismatched,
+        "failure_rate": round(failure_rate, 4),
+        "respawns": respawns,
+        "slo": stats["slo"],
+        "fault_plan": plan.stats(),
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: tuning while the service degrades and then dies
+# ---------------------------------------------------------------------------
+
+def run_tune_chaos(model, trials: int, kill_after_s: float) -> dict:
+    options = dict(trials=trials, seed=0, batch_size=4)
+    local = repro.autotune(model, target=cuda(),
+                           options=TuningOptions(**options))
+    local_fp = _tuning_fingerprint(local)
+
+    service = TuningService().start()
+    # A client with tight timeouts keeps dropped frames cheap; the session
+    # borrows it (TuningOptions accepts a connected ServiceClient).
+    client = connect(service.address, timeout=5.0, rpc_timeout=1.0,
+                     rpc_retries=2, connect_retries=2,
+                     backoff_s=0.02, backoff_max_s=0.1)
+    killer = threading.Timer(kill_after_s, service.stop)
+    plan = FaultPlan(seed=11, faults=[
+        FaultSpec("frame_drop", protocol="RTS1", probability=0.25,
+                  max_count=3),
+        FaultSpec("slow_response", delay_s=0.5, after=2, max_count=2),
+    ])
+    start = time.perf_counter()
+    try:
+        killer.start()
+        with plan:
+            chaos = repro.autotune(model, target=cuda(),
+                                   options=TuningOptions(service=client,
+                                                         **options))
+    finally:
+        killer.cancel()
+        killer.join()
+        service.stop()
+        client_stats = client.client_stats()
+        client.close()
+    elapsed = time.perf_counter() - start
+    chaos_fp = _tuning_fingerprint(chaos)
+    gates = {
+        "completed_despite_faults": True,
+        "bit_identical_to_local": chaos_fp == local_fp,
+        "faults_actually_fired": plan.total_injected() >= 1,
+    }
+    return {
+        "scenario": "tune-chaos",
+        "trials": trials,
+        "service_killed_after_s": kill_after_s,
+        "chaos_elapsed_s": round(elapsed, 2),
+        "local_fingerprint": local_fp[:16],
+        "chaos_fingerprint": chaos_fp[:16],
+        "client": client_stats,
+        "fault_plan": plan.stats(),
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: transient connection refusals on the way to the service
+# ---------------------------------------------------------------------------
+
+def run_reconnect_chaos() -> dict:
+    plan = FaultPlan(seed=3, faults=[FaultSpec("connect_refused",
+                                               max_count=2)])
+    with TuningService() as service:
+        with plan:
+            client = connect(service.address, connect_retries=3,
+                             backoff_s=0.02, backoff_max_s=0.1)
+        server_connections = client.stats()["connections"]
+        client.close()
+    gates = {
+        "refusals_injected": plan.total_injected() == 2,
+        "connected_after_refusals": server_connections >= 1,
+    }
+    return {
+        "scenario": "connect-chaos",
+        "refusals": plan.total_injected(),
+        "server_connections": server_connections,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests/trials, same "
+                             "gates); writes BENCH_chaos_smoke.json")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="serving requests (default 48; 16 with --smoke)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="tuning trials per task (default 10; 6 with "
+                             "--smoke)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="fail if the run exceeds this many seconds "
+                             "(default 420 with --smoke)")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    n_requests = args.requests or (16 if args.smoke else 48)
+    trials = args.trials or (6 if args.smoke else 10)
+    budget = args.budget or (420.0 if args.smoke else None)
+    output = args.output or (DEFAULT_OUTPUT.with_name("BENCH_chaos_smoke.json")
+                             if args.smoke else DEFAULT_OUTPUT)
+
+    threads_before = {t.name for t in threading.enumerate()}
+    suite_start = time.perf_counter()
+    model = _small_cnn()
+    print("Compiling the chaos workload ...")
+    module = repro.compile(_small_cnn(), target=cuda())
+
+    print(f"serve-chaos: {n_requests} requests, 2 worker processes, "
+          f"SIGKILLs + torn RPP1 frames ...")
+    scenarios = [run_serve_chaos(module, n_requests)]
+    print(f"  resolved {scenarios[-1]['resolved']}/{n_requests}, "
+          f"hung {scenarios[-1]['hung']}, respawns "
+          f"{scenarios[-1]['respawns']}, injected "
+          f"{scenarios[-1]['fault_plan']['total_injected']}")
+
+    print(f"tune-chaos: {trials} trials/task, dropped RTS1 frames + stalled "
+          f"replies + service killed mid-run ...")
+    scenarios.append(run_tune_chaos(model, trials, kill_after_s=0.75))
+    print(f"  fingerprints {'match' if scenarios[-1]['gates']['bit_identical_to_local'] else 'DIFFER'}, "
+          f"injected {scenarios[-1]['fault_plan']['total_injected']}, "
+          f"rpc_failures {scenarios[-1]['client']['rpc_failures']}")
+
+    print("connect-chaos: transient ECONNREFUSED x2 on a fresh client ...")
+    scenarios.append(run_reconnect_chaos())
+    print(f"  refused {scenarios[-1]['refusals']}x, then connected")
+
+    # ----------------------------------------------------------------- audits
+    leaked = leaked_segments()
+    lingering = []
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        lingering = sorted({t.name for t in threading.enumerate()}
+                           - threads_before)
+        if not lingering:
+            break
+        time.sleep(0.05)
+    audits = {
+        "scenario": "audits",
+        "gates": {
+            "no_shm_leaks": not leaked,
+            "no_thread_leaks": not lingering,
+            "no_plan_left_installed": active_plan() is None,
+        },
+        "leaked_segments": leaked,
+        "lingering_threads": lingering,
+        "passed": None,
+    }
+    audits["passed"] = all(audits["gates"].values())
+    scenarios.append(audits)
+
+    elapsed = time.perf_counter() - suite_start
+    passed = all(s["passed"] for s in scenarios)
+    results = {
+        "suite": "chaos",
+        "smoke": bool(args.smoke),
+        "requests": n_requests,
+        "trials": trials,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "elapsed_s": round(elapsed, 2),
+        "passed": passed,
+    }
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nWrote {output}")
+    for scenario in scenarios:
+        flags = "".join(f"\n    {name}: {'PASS' if ok else 'FAIL'}"
+                        for name, ok in scenario["gates"].items())
+        print(f"{scenario['scenario']}: "
+              f"{'PASS' if scenario['passed'] else 'FAIL'}{flags}")
+    emit_summary("chaos", {
+        "requests": n_requests,
+        "trials": trials,
+        "serve_resolved": scenarios[0]["resolved"],
+        "serve_hung": scenarios[0]["hung"],
+        "serve_respawns": scenarios[0]["respawns"],
+        "tune_bit_identical": scenarios[1]["gates"]["bit_identical_to_local"],
+        "faults_injected": sum(
+            s.get("fault_plan", {}).get("total_injected", 0)
+            for s in scenarios),
+        "passed": passed,
+        "elapsed_s": round(elapsed, 1),
+    })
+
+    if not passed:
+        print("FAIL: chaos gate not met", file=sys.stderr)
+        return 1
+    if budget is not None and elapsed > budget:
+        print(f"FAIL: exceeded wall-clock budget ({elapsed:.1f}s > "
+              f"{budget:.0f}s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,8 +60,8 @@ __version__ = "0.2.0"
 
 #: lazily imported subpackages/submodules
 _SUBMODULES = frozenset({
-    "autotvm", "baselines", "compiler", "frontend", "graph", "hardware",
-    "runtime", "te", "tir", "topi", "workloads",
+    "autotvm", "baselines", "compiler", "faults", "frontend", "graph",
+    "hardware", "runtime", "te", "tir", "topi", "workloads",
 })
 
 #: lazily resolved top-level attributes: name -> (module, attribute)
@@ -85,8 +85,8 @@ _LAZY_ATTRS = {
 __all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
 
 if TYPE_CHECKING:  # static importers see the real modules
-    from . import (autotvm, baselines, compiler, frontend, graph, hardware,
-                   runtime, te, tir, topi, workloads)
+    from . import (autotvm, baselines, compiler, faults, frontend, graph,
+                   hardware, runtime, te, tir, topi, workloads)
     from .autotvm import (ApplyHistoryBest, TuningOptions, TuningReport,
                           autotune)
     from .compiler import (CompiledModule, PassContext, Sequential,

@@ -18,7 +18,8 @@ locally.  :func:`schedule_zoo` drives the whole model zoo through one
 service.
 """
 
-from .client import ServiceClient, ServiceDedupMeasurer, connect
+from .client import (ServiceClient, ServiceDedupMeasurer,
+                     ServiceUnavailable, connect)
 from .protocol import MSG, ServiceProtocolError
 from .server import TuningService
 from .zoo import DEFAULT_ZOO, schedule_zoo, trials_to_target
@@ -28,6 +29,7 @@ __all__ = [
     "ServiceClient",
     "ServiceDedupMeasurer",
     "ServiceProtocolError",
+    "ServiceUnavailable",
     "TuningService",
     "DEFAULT_ZOO",
     "connect",

@@ -6,34 +6,27 @@ of a ``multiprocessing`` pipe:
 
 ``[4s magic "RTS1"][u8 message type][u32 payload length][payload]``
 
-The payload is UTF-8 JSON encoded through the artifact codec
-(:func:`repro.runtime.artifact` ``_encode_attr``/``_decode_attr``) so
-tuple-valued fields — workload args, config values — survive the trip
-exactly.  Python's ``json`` round-trips ``inf`` (as ``Infinity``) and float
-``repr`` is shortest-exact, so measured times arrive bit-identical, which
-the service's dedup guarantee depends on.
+Framing, payload (de)serialisation, truncation handling and fault injection
+live in the shared :mod:`repro.runtime.framing` codec; this module
+contributes the ``RTS1`` magic and the RPC vocabulary.  Payloads go through
+the artifact codec so tuple-valued fields — workload args, config values —
+survive the trip exactly.  Python's ``json`` round-trips ``inf`` (as
+``Infinity``) and float ``repr`` is shortest-exact, so measured times
+arrive bit-identical, which the service's dedup guarantee depends on.
+
+A peer dying mid-frame raises a :class:`ServiceProtocolError` that is also
+a :class:`ConnectionError` and names bytes-expected/bytes-got (see
+:class:`repro.runtime.framing.TruncatedFrameError`).
 """
 
 from __future__ import annotations
 
-import json
 import socket
-import struct
 from typing import Dict, Tuple
 
+from ...runtime.framing import FrameCodec, ProtocolError
+
 __all__ = ["MSG", "ServiceProtocolError", "send_frame", "recv_frame"]
-
-
-def _codec():
-    # Imported lazily: repro.runtime.artifact itself imports the compiler
-    # package (and through it this one), so a module-level import here would
-    # turn any import that *starts* at runtime.artifact — e.g. a procpool
-    # worker booting from an exported artifact — into a circular-import crash.
-    from ...runtime.artifact import _decode_attr, _encode_attr
-    return _encode_attr, _decode_attr
-
-_MAGIC = b"RTS1"
-_HEADER = struct.Struct("!4sBI")
 
 #: a frame carries log entries / model specs, never tensors — cap it
 _MAX_PAYLOAD = 32 * 1024 * 1024
@@ -70,53 +63,20 @@ class MSG:
         return cls._NAMES.get(kind, f"?{kind}")
 
 
-class ServiceProtocolError(RuntimeError):
+class ServiceProtocolError(ProtocolError):
     """A malformed, truncated or oversized frame arrived on a connection."""
+
+
+#: the one RTS1 codec instance (and fault-injection point) of this protocol
+CODEC = FrameCodec(b"RTS1", error=ServiceProtocolError,
+                   max_payload=_MAX_PAYLOAD, name_of=MSG.name)
 
 
 def send_frame(sock: socket.socket, kind: int, payload: Dict) -> None:
     """Send one framed message (header + JSON payload)."""
-    _encode_attr, _ = _codec()
-    body = json.dumps({key: _encode_attr(value)
-                       for key, value in payload.items()}).encode("utf-8")
-    if len(body) > _MAX_PAYLOAD:
-        raise ServiceProtocolError(
-            f"Refusing to send a {len(body)}-byte {MSG.name(kind)} frame "
-            f"(max {_MAX_PAYLOAD})")
-    sock.sendall(_HEADER.pack(_MAGIC, kind, len(body)) + body)
-
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ConnectionError(
-                f"Connection closed mid-frame ({count - remaining}/{count} "
-                f"bytes received)")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    CODEC.send_sock(sock, kind, payload)
 
 
 def recv_frame(sock: socket.socket) -> Tuple[int, Dict]:
     """Receive one framed message (blocking); ``(kind, payload)``."""
-    header = _recv_exact(sock, _HEADER.size)
-    magic, kind, length = _HEADER.unpack(header)
-    if magic != _MAGIC:
-        raise ServiceProtocolError(
-            f"Bad frame magic {magic!r} (expected {_MAGIC!r})")
-    if length > _MAX_PAYLOAD:
-        raise ServiceProtocolError(
-            f"Oversized {MSG.name(kind)} frame: {length} bytes")
-    body = _recv_exact(sock, length)
-    try:
-        raw = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ServiceProtocolError(
-            f"Undecodable {MSG.name(kind)} payload: {exc}") from exc
-    if not isinstance(raw, dict):
-        raise ServiceProtocolError(f"{MSG.name(kind)} payload is not an object")
-    _, _decode_attr = _codec()
-    return kind, {key: _decode_attr(value) for key, value in raw.items()}
+    return CODEC.recv_sock(sock)

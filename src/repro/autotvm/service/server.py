@@ -37,10 +37,12 @@ import logging
 import os
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...faults import inject as faults_inject
 from ..cost_model import GradientBoostedTrees
 from ..database import TuningDatabase, TuningLogEntry, operator_of
 from .protocol import MSG, ServiceProtocolError, recv_frame, send_frame
@@ -292,6 +294,12 @@ class TuningService:
                 except Exception as exc:  # never kill the handler on one request
                     logger.exception("request %s failed", MSG.name(kind))
                     reply_kind, reply = MSG.ERROR, {"message": str(exc)}
+                fault = faults_inject("service.handle", peer=peer[1],
+                                      kind=MSG.name(kind))
+                if fault is not None and fault.get("action") == "delay":
+                    # slow_response: stall before replying so clients
+                    # exercise their per-RPC timeouts.
+                    time.sleep(float(fault.get("seconds", 0.05)))
                 try:
                     send_frame(conn, reply_kind, reply)
                 except (ConnectionError, OSError):

@@ -256,6 +256,27 @@ def _progress_callback(task_index: int, num_tasks: int,
     return callback
 
 
+def _service_call(what: str, func, default):
+    """Run one optional service RPC, degrading to ``default`` if the
+    service is unreachable.
+
+    The session asked for a service explicitly, so *connecting* stays loud
+    (:func:`_resolve_service` raises); but a service dying mid-run only
+    costs its optional contributions (warm entries, pretrained model,
+    shared bests, counters) — the session finishes on local measurement.
+    """
+    from .service.client import ServiceUnavailable
+    from .service.protocol import ServiceProtocolError
+
+    try:
+        return func()
+    except (ServiceUnavailable, ServiceProtocolError,
+            ConnectionError, OSError) as exc:
+        logger.warning("tuning service call %s failed (%r); continuing "
+                       "without it", what, exc)
+        return default
+
+
 def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
                    options: TuningOptions, database: TuningDatabase,
                    client=None) -> TaskTuningResult:
@@ -272,7 +293,10 @@ def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
     warm_db = database
     if client is not None:
         merged = TuningDatabase()
-        for entry in client.warm_entries(task.operator, task.target.name):
+        for entry in _service_call(
+                "warm_entries",
+                lambda: client.warm_entries(task.operator, task.target.name),
+                []):
             merged.add(entry)
         for entry in database:
             merged.add(entry)
@@ -288,7 +312,10 @@ def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
     # tuner's training set and fold into its first refit.
     pretrained = False
     if client is not None and hasattr(tuner, "adopt_pretrained"):
-        model = client.pretrained_model(task.operator, task.target.name)
+        model = _service_call(
+            "pretrained_model",
+            lambda: client.pretrained_model(task.operator, task.target.name),
+            None)
         if model is not None:
             tuner.adopt_pretrained(model)
             pretrained = True
@@ -336,7 +363,8 @@ def _tune_one_task(task: Task, node, task_index: int, num_tasks: int,
 
     entry = database.record(task, config, estimate, features=features)
     if client is not None:
-        client.record_best(entry)
+        _service_call("record_best", lambda: client.record_best(entry),
+                      False)
     dedup_hits = getattr(measurer, "dedup_hits", 0)
     elapsed = time.perf_counter() - start
     logger.info("%s: %d trials in %.1fs, best %.3e s (%d-config space)%s%s",
@@ -366,7 +394,8 @@ def _run_session(pairs: Sequence[Tuple[Task, object]], options: TuningOptions,
         results = [_tune_one_task(task, node, i, len(pairs), options,
                                   database, client=client)
                    for i, (task, node) in enumerate(pairs)]
-        stats = client.stats() if client is not None else None
+        stats = _service_call("stats", client.stats, None) \
+            if client is not None else None
     finally:
         if owned_client and client is not None:
             client.close()

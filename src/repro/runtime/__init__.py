@@ -8,8 +8,10 @@ from .ndarray import (DEVICE_TYPES, Context, Device, NDArray, array, cpu,
 from .procpool import (ModuleWorkerPool, PoolShutdownError, ProcPoolError,
                        ShmArena, WorkerCrash, WorkerError, WorkerPool,
                        leaked_segments)
+from .framing import ProtocolError, TruncatedFrameError
 from .rpc import RPCServer, RPCSession, Tracker, connect_tracker
-from .serving import InferenceEngine, InferenceFuture, serve
+from .serving import (DeadlineExceeded, InferenceEngine, InferenceFuture,
+                      QueueFull, RequestCancelled, ServingError, serve)
 
 #: ``repro.load`` — restore an exported module artifact without recompiling
 load = load_module
@@ -18,6 +20,7 @@ __all__ = [
     "ArtifactError",
     "Context",
     "DEVICE_TYPES",
+    "DeadlineExceeded",
     "Device",
     "ExecutionResult",
     "Executor",
@@ -29,10 +32,15 @@ __all__ = [
     "NDArray",
     "PoolShutdownError",
     "ProcPoolError",
+    "ProtocolError",
+    "QueueFull",
     "RPCServer",
     "RPCSession",
+    "RequestCancelled",
+    "ServingError",
     "ShmArena",
     "Tracker",
+    "TruncatedFrameError",
     "WorkerCrash",
     "WorkerError",
     "WorkerPool",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
 import threading
 import time
 import weakref
@@ -34,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ...faults import inject as faults_inject
 from .protocol import MSG, ProtocolError, recv_msg, send_msg
 from .shm import ShmArena
 
@@ -210,6 +212,10 @@ class WorkerPool:
                     return recv_msg(worker.conn)
                 except (EOFError, OSError) as exc:
                     raise self._WorkerDied(f"pipe closed: {exc!r}") from exc
+                except ProtocolError as exc:
+                    # A torn or malformed frame means the worker (or the
+                    # stream) is corrupt — same remedy as death: respawn.
+                    raise self._WorkerDied(f"bad frame: {exc}") from exc
             if worker.process is not None and not worker.process.is_alive():
                 raise self._WorkerDied(
                     f"process exited with code {worker.process.exitcode}")
@@ -271,6 +277,16 @@ class WorkerPool:
                     if worker.conn is None or worker.process is None \
                             or not worker.process.is_alive():
                         raise self._WorkerDied("worker is not running")
+                    fault = faults_inject("procpool.dispatch",
+                                          pool=self.name, index=index,
+                                          kind=MSG.name(kind),
+                                          pid=worker.pid)
+                    if fault is not None and fault.get("action") == "kill" \
+                            and worker.pid is not None:
+                        try:
+                            os.kill(worker.pid, signal.SIGKILL)
+                        except (ProcessLookupError, PermissionError):
+                            pass
                     send_msg(worker.conn, kind, payload)
                     reply_kind, reply = self._recv(
                         worker, timeout if timeout is not None

@@ -5,27 +5,30 @@ Every message is one raw byte frame on a ``multiprocessing`` pipe
 
 ``[4s magic "RPP1"][u8 message type][u32 payload length][payload]``
 
-The payload is UTF-8 JSON encoded through the PR 4 artifact codec
-(:func:`repro.runtime.artifact` ``_encode_attr``/``_decode_attr``), so
-tuple-valued fields — e.g. tuning-task workload args, whose ``repr`` seeds
-deterministic fallback configs — survive the trip exactly.  Tensors never
-appear in a frame: they travel through :class:`~.shm.ShmArena` segments and
-frames carry only the arena spec (segment name + slot table).
+Framing, payload (de)serialisation, truncation handling and fault injection
+all live in the shared :mod:`repro.runtime.framing` codec (the tuning
+service's ``RTS1`` protocol rides the same implementation); this module
+contributes only the ``RPP1`` magic and the message vocabulary.  The
+payload is UTF-8 JSON encoded through the artifact codec, so tuple-valued
+fields — e.g. tuning-task workload args, whose ``repr`` seeds deterministic
+fallback configs — survive the trip exactly.  Tensors never appear in a
+frame: they travel through :class:`~.shm.ShmArena` segments and frames
+carry only the arena spec (segment name + slot table).
+
+A peer dying mid-frame surfaces as
+:class:`~repro.runtime.framing.TruncatedFrameError` — a
+:class:`ProtocolError` naming bytes-expected/bytes-got.
 """
 
 from __future__ import annotations
 
-import json
-import struct
 from typing import Dict, Tuple
 
 from ..artifact import _decode_attr, _encode_attr
+from ..framing import FrameCodec, ProtocolError, TruncatedFrameError
 
-__all__ = ["MSG", "ProtocolError", "send_msg", "recv_msg",
-           "encode_value", "decode_value"]
-
-_MAGIC = b"RPP1"
-_HEADER = struct.Struct("!4sBI")
+__all__ = ["MSG", "ProtocolError", "TruncatedFrameError", "send_msg",
+           "recv_msg", "encode_value", "decode_value"]
 
 #: refuse absurd frames (tensor data must go through shm, not the pipe)
 _MAX_PAYLOAD = 32 * 1024 * 1024
@@ -54,8 +57,9 @@ class MSG:
         return cls._NAMES.get(kind, f"?{kind}")
 
 
-class ProtocolError(RuntimeError):
-    """A malformed or oversized frame arrived on a pool connection."""
+#: the one RPP1 codec instance (and fault-injection point) of this protocol
+CODEC = FrameCodec(b"RPP1", error=ProtocolError, max_payload=_MAX_PAYLOAD,
+                   name_of=MSG.name)
 
 
 def encode_value(value):
@@ -69,35 +73,9 @@ def decode_value(value):
 
 def send_msg(conn, kind: int, payload: Dict) -> None:
     """Send one framed message (header + JSON payload, no pickling)."""
-    body = json.dumps({key: _encode_attr(value)
-                       for key, value in payload.items()}).encode("utf-8")
-    if len(body) > _MAX_PAYLOAD:
-        raise ProtocolError(
-            f"Refusing to send a {len(body)}-byte {MSG.name(kind)} frame "
-            f"(max {_MAX_PAYLOAD}); tensor data must travel through shm "
-            f"arenas, not the pipe")
-    conn.send_bytes(_HEADER.pack(_MAGIC, kind, len(body)) + body)
+    CODEC.send_pipe(conn, kind, payload)
 
 
 def recv_msg(conn) -> Tuple[int, Dict]:
     """Receive one framed message (blocking); ``(kind, payload)``."""
-    frame = conn.recv_bytes()
-    if len(frame) < _HEADER.size:
-        raise ProtocolError(f"Short frame: {len(frame)} bytes")
-    magic, kind, length = _HEADER.unpack_from(frame)
-    if magic != _MAGIC:
-        raise ProtocolError(f"Bad frame magic {magic!r} (expected {_MAGIC!r})")
-    if length > _MAX_PAYLOAD:
-        raise ProtocolError(f"Oversized {MSG.name(kind)} frame: {length} bytes")
-    body = frame[_HEADER.size:]
-    if len(body) != length:
-        raise ProtocolError(f"Frame length mismatch: header says {length}, "
-                            f"got {len(body)}")
-    try:
-        raw = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"Undecodable {MSG.name(kind)} payload: {exc}") \
-            from exc
-    if not isinstance(raw, dict):
-        raise ProtocolError(f"{MSG.name(kind)} payload is not an object")
-    return kind, {key: _decode_attr(value) for key, value in raw.items()}
+    return CODEC.recv_pipe(conn)

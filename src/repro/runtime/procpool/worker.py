@@ -28,7 +28,7 @@ import time
 import traceback
 from typing import Dict
 
-from .protocol import MSG, recv_msg, send_msg
+from .protocol import MSG, ProtocolError, recv_msg, send_msg
 from .shm import ShmArena
 
 __all__ = ["module_worker_main", "measure_worker_main"]
@@ -46,6 +46,10 @@ def _serve_loop(conn, handle_exec) -> None:
             kind, payload = recv_msg(conn)
         except (EOFError, OSError):
             return                      # parent died; exit quietly
+        except ProtocolError:
+            # A torn/garbled frame means the stream is unrecoverable (e.g. a
+            # truncation fault): exit so the parent respawns a clean worker.
+            return
         if kind == MSG.PING:
             send_msg(conn, MSG.PONG, {"pid": os.getpid()})
         elif kind == MSG.SHUTDOWN:

@@ -4,15 +4,27 @@ The paper's end-to-end claim is compile-once, serve-anywhere; this module
 adds the serving half: :func:`serve` turns a compiled module (or an exported
 artifact path) into an :class:`InferenceEngine` that
 
-* queues concurrent requests from many client threads,
-* coalesces them along the graph's batch axis with dynamic batching
-  (``max_batch`` requests per batch, waiting at most ``timeout_ms`` for the
-  batch to fill),
+* queues concurrent requests from many client threads through a *bounded*
+  admission queue with per-request deadlines and priorities — when the
+  queue exceeds ``max_queue`` the engine sheds load (most-expired first,
+  then lowest-priority/newest) with typed :class:`QueueFull` /
+  :class:`DeadlineExceeded` rejections instead of admitting unboundedly,
+* coalesces admitted requests along the graph's batch axis with dynamic
+  batching (``max_batch`` requests per batch, waiting at most
+  ``timeout_ms`` for the batch to fill; higher-priority requests pop
+  first),
 * round-robins the batches across a pool of per-device
   :class:`~repro.runtime.executor.Executor` workers (multi-GPU or
   heterogeneous; workers can hold leases on a
   :class:`~repro.runtime.rpc.Tracker` device pool), and
-* reports structured throughput / latency / batch-occupancy statistics.
+* reports structured throughput / latency / batch-occupancy / SLO
+  statistics (sheds, deadline violations, cancellations).
+
+Clients that give up can :meth:`InferenceFuture.cancel` a request; a
+cancelled request is never executed and never counted in the serving
+statistics.  :meth:`InferenceEngine.shutdown` drains by default
+(already-admitted requests are served) or rejects the backlog with
+``drain=False``.
 
 Latency accounting is simulated-consistent: a coalesced batch costs the
 per-batch kernel estimates of the batched workload (what compiling the model
@@ -37,9 +49,28 @@ from ..compiler.module import CompiledModule
 from .executor import Executor
 from .ndarray import Device, DeviceLike, device as as_device
 
-__all__ = ["serve", "InferenceEngine", "InferenceFuture"]
+__all__ = ["serve", "InferenceEngine", "InferenceFuture", "ServingError",
+           "QueueFull", "DeadlineExceeded", "RequestCancelled"]
 
 _SHUTDOWN = object()
+
+
+class ServingError(RuntimeError):
+    """Base error of the serving engine's admission/SLO machinery."""
+
+
+class QueueFull(ServingError):
+    """The bounded admission queue is full and this request lost the shed
+    comparison (it is the lowest-priority/newest candidate)."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's ``deadline_ms`` passed before it executed; it was shed
+    without running."""
+
+
+class RequestCancelled(ServingError):
+    """The caller cancelled the request before it started executing."""
 
 
 # ---------------------------------------------------------------------------
@@ -125,12 +156,23 @@ class _BatchCostModel:
 # ---------------------------------------------------------------------------
 
 class InferenceFuture:
-    """Handle to one submitted request; resolves to the request's outputs."""
+    """Handle to one submitted request; resolves to the request's outputs.
+
+    A caller that gives up (e.g. after :meth:`result` raised
+    ``TimeoutError``) can :meth:`cancel` the request: if it has not started
+    executing it never will, and it is not counted in the engine's serving
+    statistics.
+    """
 
     def __init__(self):
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._outputs: Optional[List[np.ndarray]] = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
+        self._claimed = False
+        #: engine callback fired once on successful cancellation (stats)
+        self._cancel_hook = None
         #: filled at completion: simulated seconds of the batch that served
         #: this request, its size in requests, and observed wall latency
         self.simulated_latency: Optional[float] = None
@@ -140,6 +182,29 @@ class InferenceFuture:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the request if it has not started executing.
+
+        Returns ``True`` if the request is (now) cancelled — it will never
+        execute and :meth:`result` raises :class:`RequestCancelled` — and
+        ``False`` if it already started executing or completed.
+        """
+        with self._lock:
+            if self._cancelled:
+                return True
+            if self._claimed or self._event.is_set():
+                return False
+            self._cancelled = True
+        hook = self._cancel_hook
+        if hook is not None:
+            hook()
+        self._reject(RequestCancelled(
+            "request cancelled by the caller before execution"))
+        return True
+
     def result(self, timeout: Optional[float] = None) -> List[np.ndarray]:
         if not self._event.wait(timeout):
             raise TimeoutError("Inference request did not complete in time")
@@ -148,6 +213,14 @@ class InferenceFuture:
         return self._outputs
 
     # -- engine side -----------------------------------------------------------
+    def _claim(self) -> bool:
+        """Mark execution as started; cancellation loses the race from here."""
+        with self._lock:
+            if self._cancelled or self._event.is_set():
+                return False
+            self._claimed = True
+            return True
+
     def _resolve(self, outputs: List[np.ndarray]) -> None:
         self._outputs = outputs
         self._event.set()
@@ -158,12 +231,128 @@ class InferenceFuture:
 
 
 class _Request:
-    __slots__ = ("inputs", "future", "enqueued_at")
+    __slots__ = ("inputs", "future", "enqueued_at", "deadline", "priority",
+                 "seq")
 
-    def __init__(self, inputs: Dict[str, np.ndarray]):
+    def __init__(self, inputs: Dict[str, np.ndarray],
+                 deadline: Optional[float] = None, priority: int = 0):
         self.inputs = inputs
         self.future = InferenceFuture()
         self.enqueued_at = time.monotonic()
+        self.deadline = deadline        #: absolute monotonic time, or None
+        self.priority = priority        #: higher pops first; ties FIFO
+        self.seq = -1                   #: admission order (set by the queue)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return self.deadline is not None \
+            and (time.monotonic() if now is None else now) >= self.deadline
+
+
+class _AdmissionQueue:
+    """Bounded, priority-ordered admission queue with load shedding.
+
+    ``pop`` returns the highest-priority, earliest-admitted live request.
+    When full, ``put`` sheds: expired requests first (most expired first),
+    then the lowest-priority/newest candidate — which may be the incoming
+    request itself, in which case :class:`QueueFull` propagates to the
+    submitting caller.  Cancelled entries are dropped on sight; expired
+    entries are rejected with :class:`DeadlineExceeded`.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._cond = threading.Condition()
+        self._items: List[_Request] = []
+        self._seq = 0
+        self._closed = False
+        self.shed_queue_full = 0
+        self.shed_expired = 0
+
+    # Caller holds the lock for every _-method below.
+    def _purge(self, now: float) -> None:
+        kept = []
+        for request in self._items:
+            if request.future.cancelled():
+                continue
+            if request.expired(now):
+                self.shed_expired += 1
+                request.future._reject(DeadlineExceeded(
+                    f"deadline passed after "
+                    f"{now - request.enqueued_at:.3f}s in the admission "
+                    f"queue; the request was shed, not executed"))
+                continue
+            kept.append(request)
+        self._items = kept
+
+    def put(self, request: _Request) -> None:
+        with self._cond:
+            if self._closed:
+                raise ServingError("InferenceEngine has been shut down")
+            request.seq = self._seq
+            self._seq += 1
+            if len(self._items) >= self.maxsize:
+                self._purge(time.monotonic())
+            if len(self._items) >= self.maxsize:
+                victim = min(self._items + [request],
+                             key=lambda r: (r.priority, -r.seq))
+                self.shed_queue_full += 1
+                if victim is request:
+                    raise QueueFull(
+                        f"admission queue is full ({self.maxsize} queued) "
+                        f"and every queued request has priority >= "
+                        f"{request.priority}")
+                self._items.remove(victim)
+                victim.future._reject(QueueFull(
+                    f"shed from a full admission queue ({self.maxsize} "
+                    f"queued) by a higher-priority request"))
+            self._items.append(request)
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None):
+        """The best live request, ``None`` on timeout, or the shutdown
+        sentinel once closed and empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                self._purge(now)
+                if self._items:
+                    best = max(self._items,
+                               key=lambda r: (r.priority, -r.seq))
+                    self._items.remove(best)
+                    return best
+                if self._closed:
+                    return _SHUTDOWN
+                remaining = None if deadline is None else deadline - now
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def note_expired(self, count: int = 1) -> None:
+        """Record requests shed for expiry after they left the queue."""
+        with self._cond:
+            self.shed_expired += count
+
+    def counters(self) -> Dict[str, int]:
+        with self._cond:
+            return {"shed_queue_full": self.shed_queue_full,
+                    "shed_expired": self.shed_expired}
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_rejecting(self, error: BaseException) -> None:
+        with self._cond:
+            items, self._items = self._items, []
+        for request in items:
+            if not request.future.done():
+                request.future._reject(error)
 
 
 # ---------------------------------------------------------------------------
@@ -182,11 +371,14 @@ class InferenceEngine:
     def __init__(self, module: CompiledModule, *,
                  devices: Union[None, int, Sequence[DeviceLike]] = None,
                  max_batch: int = 8, timeout_ms: float = 2.0,
+                 max_queue: int = 1024,
                  tracker=None, rpc_key: Optional[str] = None,
                  lease_timeout: float = 10.0, pool: str = "thread",
                  bundle_path: Optional[str] = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if pool not in ("thread", "process"):
             raise ValueError(f"pool must be 'thread' or 'process', "
                              f"got {pool!r}")
@@ -265,8 +457,12 @@ class InferenceEngine:
             self._executors: List[Executor] = []
         else:
             self._executors = [Executor(module, dev) for dev in self.devices]
-        self._requests: "queue.Queue" = queue.Queue()
-        self._worker_queues = [queue.Queue() for _ in self.devices]
+        self.max_queue = max_queue
+        self._admission = _AdmissionQueue(max_queue)
+        # Bounded worker queues (two batches each): backpressure from a slow
+        # device propagates to the batcher and from there to the admission
+        # queue, which is where shedding decisions belong.
+        self._worker_queues = [queue.Queue(maxsize=2) for _ in self.devices]
         #: indices of worker threads that died (never dispatch to them) and
         #: the error that killed each — see _abandon_worker
         self._dead_workers: set = set()
@@ -276,6 +472,8 @@ class InferenceEngine:
         self._stats_lock = threading.Lock()
         self._n_requests = 0
         self._n_batches = 0
+        self._n_cancelled = 0
+        self._deadline_violations = 0
         self._occupancy: Dict[int, int] = {}
         self._wall_latencies: List[float] = []
         self._sim_latencies: List[float] = []
@@ -315,12 +513,25 @@ class InferenceEngine:
         return resolved
 
     # ------------------------------------------------------------------ client API
-    def submit(self, inputs: Optional[Dict[str, np.ndarray]] = None,
+    def submit(self, inputs: Optional[Dict[str, np.ndarray]] = None, *,
+               deadline_ms: Optional[float] = None, priority: int = 0,
                **named) -> InferenceFuture:
         """Enqueue one request; returns a future resolving to the outputs
-        (a list of NumPy arrays, one per graph output)."""
+        (a list of NumPy arrays, one per graph output).
+
+        ``deadline_ms`` is an end-to-end SLO measured from this call: a
+        request that has not *started executing* when it expires is shed
+        (its future raises :class:`DeadlineExceeded`); one that merely
+        finishes late still resolves but is counted as a deadline
+        violation.  ``priority`` (higher = more important, default 0)
+        orders the admission queue and decides who is shed when it is full
+        — lowest-priority/newest first, with :class:`QueueFull` raised here
+        when the incoming request is itself the best shed candidate.
+        """
         if self._closed:
             raise RuntimeError("InferenceEngine has been shut down")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         merged = dict(inputs or {})
         merged.update(named)
         # Validate in the caller's thread so bad requests fail fast and never
@@ -337,17 +548,27 @@ class InferenceEngine:
                     f"Input {spec.name!r} has shape {tuple(value.shape)}, "
                     f"expected {spec.shape} (one native-batch request); "
                     f"expected inputs: {self._reference.describe_inputs()}")
-        request = _Request(validated)
+        deadline = None if deadline_ms is None \
+            else time.monotonic() + deadline_ms / 1000.0
+        request = _Request(validated, deadline=deadline, priority=priority)
+        request.future._cancel_hook = self._note_cancelled
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("InferenceEngine has been shut down")
-            self._requests.put(request)
+            self._admission.put(request)
         return request.future
 
+    def _note_cancelled(self) -> None:
+        with self._stats_lock:
+            self._n_cancelled += 1
+
     def infer(self, inputs: Optional[Dict[str, np.ndarray]] = None,
-              timeout: Optional[float] = None, **named) -> List[np.ndarray]:
+              timeout: Optional[float] = None, *,
+              deadline_ms: Optional[float] = None, priority: int = 0,
+              **named) -> List[np.ndarray]:
         """Blocking inference: submit one request and wait for its outputs."""
-        return self.submit(inputs, **named).result(timeout)
+        return self.submit(inputs, deadline_ms=deadline_ms,
+                           priority=priority, **named).result(timeout)
 
     def infer_many(self, requests: Sequence[Dict[str, np.ndarray]],
                    timeout: Optional[float] = None) -> List[List[np.ndarray]]:
@@ -359,7 +580,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------ batching
     def _batcher_loop(self) -> None:
         while True:
-            item = self._requests.get()
+            item = self._admission.pop()
             if item is _SHUTDOWN:
                 break
             batch = [item]
@@ -369,40 +590,64 @@ class InferenceEngine:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
-                try:
-                    nxt = self._requests.get(timeout=remaining)
-                except queue.Empty:
-                    break
+                nxt = self._admission.pop(timeout=remaining)
                 if nxt is _SHUTDOWN:
                     stop = True
                     break
+                if nxt is None:
+                    break
                 batch.append(nxt)
-            self._dispatch(batch)
+            # Cancelled while coalescing: never execute, never count.
+            batch = [request for request in batch
+                     if not request.future.cancelled()]
+            if batch:
+                self._dispatch(batch)
             if stop:
                 break
-        for worker_queue in self._worker_queues:
-            worker_queue.put(_SHUTDOWN)
+        for index, worker_queue in enumerate(self._worker_queues):
+            while True:
+                with self._stats_lock:
+                    dead = index in self._dead_workers
+                if dead:
+                    break       # its thread is gone; nothing to wake
+                try:
+                    worker_queue.put(_SHUTDOWN, timeout=0.2)
+                    break
+                except queue.Full:
+                    continue    # worker still draining (or just died)
 
     def _dispatch(self, batch: List[_Request]) -> None:
+        attempt = 0
+        while True:
+            with self._stats_lock:
+                alive = [i for i in range(len(self._worker_queues))
+                         if i not in self._dead_workers]
+                index = alive[(self._n_batches + attempt) % len(alive)] \
+                    if alive else -1
+            if not alive:
+                error = RuntimeError(
+                    "every serving worker has died; the engine cannot serve "
+                    f"(first failure: "
+                    f"{next(iter(self._worker_errors.values()), None)!r})")
+                for request in batch:
+                    if not request.future.done():
+                        request.future._reject(error)
+                return
+            try:
+                # Bounded put: a full queue means the device is behind — try
+                # the next alive worker, re-checking deaths each lap.
+                self._worker_queues[index].put(batch, timeout=0.05)
+            except queue.Full:
+                attempt += 1
+                continue
+            break
         with self._stats_lock:
-            alive = [i for i in range(len(self._worker_queues))
-                     if i not in self._dead_workers]
-            if alive:
-                index = alive[self._n_batches % len(alive)]
-                self._n_batches += 1
-                self._occupancy[len(batch)] = \
-                    self._occupancy.get(len(batch), 0) + 1
-        if not alive:
-            error = RuntimeError(
-                "every serving worker has died; the engine cannot serve "
-                f"(first failure: {next(iter(self._worker_errors.values()), None)!r})")
-            for request in batch:
-                request.future._reject(error)
-            return
-        self._worker_queues[index].put(batch)
-        # Close the dispatch/death race: the worker may have died between
-        # the aliveness check and the put, leaving this batch stranded.
-        with self._stats_lock:
+            self._n_batches += 1
+            self._occupancy[len(batch)] = \
+                self._occupancy.get(len(batch), 0) + 1
+            # Close the dispatch/death race: the worker may have died
+            # between the aliveness check and the put, leaving this batch
+            # stranded.
             died = index in self._dead_workers
         if died:
             self._drain_rejecting(index)
@@ -478,6 +723,26 @@ class InferenceEngine:
                     request.future._reject(error)
 
     def _run_batch(self, index: int, batch: List[_Request]) -> None:
+        # Last line of defence before execution: shed requests whose
+        # deadline passed while batched/queued, skip requests cancelled
+        # since dispatch, and claim the rest so cancel() can no longer win.
+        now = time.monotonic()
+        runnable = []
+        for request in batch:
+            if request.expired(now):
+                self._admission.note_expired()
+                if not request.future.done():
+                    request.future._reject(DeadlineExceeded(
+                        f"deadline passed "
+                        f"{now - request.deadline:.3f}s before execution; "
+                        f"the request was shed, not executed"))
+                continue
+            if not request.future._claim():
+                continue
+            runnable.append(request)
+        if not runnable:
+            return
+        batch = runnable
         rows = len(batch) * self.native_batch
         try:
             batch_time, _per_kernel = self._cost.times_for(rows)
@@ -502,6 +767,8 @@ class InferenceEngine:
                 except Exception as exc:
                     outcomes.append(exc)
         wall_latencies = []
+        violations = 0
+        done_at = time.monotonic()
         for request, outcome in zip(batch, outcomes):
             future = request.future
             if isinstance(outcome, Exception):
@@ -509,14 +776,19 @@ class InferenceEngine:
                 continue
             future.simulated_latency = batch_time
             future.batch_size = len(batch)
-            future.wall_latency = time.monotonic() - request.enqueued_at
+            future.wall_latency = done_at - request.enqueued_at
             wall_latencies.append(future.wall_latency)
+            # Finished late: the caller still gets the outputs (the work is
+            # done), but the SLO miss is counted.
+            if request.expired(done_at):
+                violations += 1
             future._resolve(outcome)
         with self._stats_lock:
             self._n_requests += len(batch)
             self._device_busy[index] += batch_time
             self._sim_latencies.extend([batch_time] * len(batch))
             self._wall_latencies.extend(wall_latencies)
+            self._deadline_violations += violations
 
     # ------------------------------------------------------------------ stats
     def estimated_batch_time(self, n_requests: int) -> float:
@@ -547,8 +819,11 @@ class InferenceEngine:
             busy = list(self._device_busy)
             wall = list(self._wall_latencies)
             sim = list(self._sim_latencies)
+            cancelled = self._n_cancelled
+            violations = self._deadline_violations
             end = self._stopped_at or time.monotonic()
             duration = max(end - self._started_at, 1e-12)
+        shed = self._admission.counters()
         makespan = max(busy) if busy else 0.0
         mean_occupancy = (sum(size * count for size, count in occupancy.items())
                           / batches) if batches else 0.0
@@ -573,24 +848,40 @@ class InferenceEngine:
                 "throughput_rps": requests / duration,
                 "latency": self._percentiles(wall),
             },
+            "slo": {
+                "max_queue": self.max_queue,
+                "queue_depth": self._admission.depth(),
+                "shed_queue_full": shed["shed_queue_full"],
+                "shed_expired": shed["shed_expired"],
+                "shed_total": shed["shed_queue_full"] + shed["shed_expired"],
+                "cancelled": cancelled,
+                "deadline_violations": violations,
+            },
         }
         if self._procpool is not None:
             result["process_workers"] = self._procpool.stats()
         return result
 
     # ------------------------------------------------------------------ lifecycle
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting requests, drain the queues and stop the workers.
+    def shutdown(self, wait: bool = True, drain: bool = True) -> None:
+        """Stop accepting requests, then stop the workers.
 
-        Already-enqueued requests are still served.  Each worker releases
-        its tracker lease (if any) as it exits; with ``wait=False`` that
-        happens asynchronously once the queues drain.
+        With ``drain=True`` (default) already-admitted requests are still
+        served before the workers exit; with ``drain=False`` the backlog is
+        rejected with :class:`ServingError` and only in-flight batches
+        finish.  Each worker releases its tracker lease (if any) as it
+        exits; with ``wait=False`` that happens asynchronously once the
+        queues drain.
         """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
-            self._requests.put(_SHUTDOWN)
+            if not drain:
+                self._admission.drain_rejecting(ServingError(
+                    "engine shut down (drain=False) before this request "
+                    "was served"))
+            self._admission.close()
         if wait:
             self._batcher.join()
             for worker in self._workers:
@@ -630,6 +921,7 @@ class InferenceEngine:
 def serve(module_or_path: Union[CompiledModule, str], *,
           devices: Union[None, int, Sequence[DeviceLike]] = None,
           max_batch: int = 8, timeout_ms: float = 2.0,
+          max_queue: int = 1024,
           tracker=None, rpc_key: Optional[str] = None,
           pool: str = "thread") -> InferenceEngine:
     """Start an inference engine over a compiled module or artifact path.
@@ -647,6 +939,10 @@ def serve(module_or_path: Union[CompiledModule, str], *,
         Dynamic batching knobs: coalesce up to ``max_batch`` requests,
         waiting at most ``timeout_ms`` after the first request for the batch
         to fill.
+    max_queue:
+        Admission-queue bound: beyond this many queued requests the engine
+        sheds load (expired first, then lowest-priority/newest) instead of
+        queueing unboundedly; see :meth:`InferenceEngine.submit`.
     tracker / rpc_key:
         Lease each worker's device exclusively from an
         :class:`~repro.runtime.rpc.Tracker` pool (the paper's remote device
@@ -668,6 +964,6 @@ def serve(module_or_path: Union[CompiledModule, str], *,
         # re-export needed.
         bundle_path = str(module_or_path)
     return InferenceEngine(module, devices=devices, max_batch=max_batch,
-                           timeout_ms=timeout_ms, tracker=tracker,
-                           rpc_key=rpc_key, pool=pool,
+                           timeout_ms=timeout_ms, max_queue=max_queue,
+                           tracker=tracker, rpc_key=rpc_key, pool=pool,
                            bundle_path=bundle_path)

@@ -10,7 +10,9 @@ import pytest
 import repro
 from repro.frontend import ModelBuilder
 from repro.hardware import cuda
-from repro.runtime import Executor, RPCServer, Tracker
+from repro.runtime import (DeadlineExceeded, Executor, QueueFull,
+                           RequestCancelled, RPCServer, ServingError, Tracker)
+from repro.runtime.serving import _AdmissionQueue, _Request
 
 
 def _small_cnn():
@@ -208,6 +210,37 @@ class TestTrackerServing:
         with pytest.raises(ValueError, match="rpc_key"):
             repro.serve(module, tracker=Tracker())
 
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_lease_released_when_worker_dies_mid_request(self, module):
+        # The worker thread owns its lease; even a BaseException that kills
+        # the thread mid-request must release it back to the pool (and
+        # reject the in-flight future rather than hang the caller).
+        class _WorkerThreadDeath(BaseException):
+            pass
+
+        tracker = Tracker()
+        tracker.register_device("titan-x", cuda().model, count=1)
+        engine = repro.serve(module, max_batch=1, tracker=tracker,
+                             rpc_key="titan-x")
+        assert tracker.summary()["titan-x"]["free"] == 0
+
+        def boom(inputs):
+            raise _WorkerThreadDeath("simulated executor death")
+
+        engine._executors[0]._execute = boom
+        future = engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+        with pytest.raises(_WorkerThreadDeath):
+            future.result(30)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if tracker.summary()["titan-x"]["free"] == 1:
+                break
+            time.sleep(0.01)
+        assert tracker.summary()["titan-x"]["free"] == 1
+        assert 0 in engine._dead_workers
+        engine.shutdown()
+
 
 # ---------------------------------------------------------------------------
 # rpc.Tracker.request paths (satellite #3)
@@ -268,3 +301,182 @@ class TestTrackerRequest:
         with pytest.raises(RuntimeError, match="released"):
             session.execute(lambda: None)
         assert tracker.summary()["board"]["requests"] == 1
+
+
+# ---------------------------------------------------------------------------
+# SLO machinery: deadlines, priorities, shedding, cancellation
+# ---------------------------------------------------------------------------
+
+def _gated_engine(module, **kwargs):
+    """An engine whose single executor blocks on ``gate``; ``entered`` is
+    set the moment a batch reaches execution (i.e. after it was claimed)."""
+    engine = repro.serve(module, **kwargs)
+    gate = threading.Event()
+    entered = threading.Event()
+    original = engine._executors[0]._execute
+
+    def gated(inputs):
+        entered.set()
+        gate.wait(30)
+        return original(inputs)
+
+    engine._executors[0]._execute = gated
+    return engine, gate, entered
+
+
+class TestSLO:
+    X = np.zeros((1, 3, 16, 16), "float32")
+
+    def test_knob_validation(self, module):
+        with pytest.raises(ValueError, match="max_queue"):
+            repro.serve(module, max_queue=0)
+        with repro.serve(module, max_batch=1) as engine:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                engine.submit(data=self.X, deadline_ms=0)
+
+    def test_deadline_expired_in_window_is_shed(self, module):
+        # A 400ms coalescing window outlives a 50ms deadline: the expired
+        # request is shed before execution, its batchmate is unaffected.
+        engine = repro.serve(module, max_batch=8, timeout_ms=400)
+        keep = engine.submit(data=self.X)
+        drop = engine.submit(data=self.X, deadline_ms=50)
+        assert len(keep.result(30)) == 1
+        with pytest.raises(DeadlineExceeded, match="shed, not executed"):
+            drop.result(30)
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == 1
+        assert stats["slo"]["shed_expired"] == 1
+        assert stats["slo"]["shed_total"] == 1
+
+    def test_result_timeout_then_cancel_skips_execution(self, module):
+        engine, gate, entered = _gated_engine(module, max_batch=1,
+                                              timeout_ms=1)
+        try:
+            first = engine.submit(data=self.X)
+            assert entered.wait(10)
+            second = engine.submit(data=self.X)   # queued behind the gate
+            with pytest.raises(TimeoutError):
+                second.result(0.05)
+            assert second.cancel() is True
+            assert second.cancel() is True        # idempotent
+            assert second.cancelled()
+        finally:
+            gate.set()
+        assert len(first.result(30)) == 1
+        assert first.cancel() is False            # too late: already done
+        with pytest.raises(RequestCancelled):
+            second.result(30)
+        engine.shutdown()
+        stats = engine.stats()
+        # The cancelled request was never executed and never counted.
+        assert stats["requests"] == 1
+        assert stats["slo"]["cancelled"] == 1
+
+    def test_cancel_in_window_never_dispatches(self, module):
+        engine = repro.serve(module, max_batch=8, timeout_ms=500)
+        future = engine.submit(data=self.X)
+        time.sleep(0.05)          # let the batcher pop it into the window
+        assert future.cancel() is True
+        with pytest.raises(RequestCancelled):
+            future.result(5)
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == 0
+        assert stats["batches"] == 0
+        assert stats["slo"]["cancelled"] == 1
+
+    def test_queue_full_sheds_lowest_priority_newest(self, module):
+        engine, gate, entered = _gated_engine(module, max_batch=1,
+                                              timeout_ms=1, max_queue=2)
+        futures, full_raises = [], 0
+        try:
+            futures.append(engine.submit(data=self.X))
+            assert entered.wait(10)
+            # Saturate the pipeline (1 executing + bounded worker queue +
+            # the batcher's blocked dispatch) and then the admission queue.
+            # Among equal priorities the *incoming* request is always the
+            # shed victim, so queued futures are never evicted here.
+            for _ in range(100):
+                try:
+                    futures.append(engine.submit(data=self.X))
+                except QueueFull:
+                    full_raises += 1
+                if full_raises >= 3 \
+                        and engine.stats()["slo"]["queue_depth"] == 2:
+                    break
+            assert full_raises >= 3
+            assert engine.stats()["slo"]["queue_depth"] == 2
+            # A high-priority arrival is admitted by evicting the newest
+            # queued low-priority request.
+            vip = engine.submit(data=self.X, priority=10)
+        finally:
+            gate.set()
+        assert len(vip.result(30)) == 1
+        served, shed = 0, 0
+        for future in futures:
+            try:
+                future.result(30)
+                served += 1
+            except QueueFull:
+                shed += 1
+        assert shed == 1                  # exactly the future vip evicted
+        assert served == len(futures) - 1
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == served + 1
+        assert stats["slo"]["shed_queue_full"] == full_raises + 1
+
+    def test_late_completion_counts_deadline_violation(self, module):
+        engine, gate, entered = _gated_engine(module, max_batch=1,
+                                              timeout_ms=1)
+        try:
+            future = engine.submit(data=self.X, deadline_ms=150)
+            assert entered.wait(10)       # claimed before the deadline
+            time.sleep(0.3)               # ... but finishes after it
+        finally:
+            gate.set()
+        assert len(future.result(30)) == 1    # late work still delivered
+        engine.shutdown()
+        slo = engine.stats()["slo"]
+        assert slo["deadline_violations"] == 1
+        assert slo["shed_expired"] == 0
+
+    def test_shutdown_drain_false_rejects_backlog(self, module):
+        engine, gate, entered = _gated_engine(module, max_batch=1,
+                                              timeout_ms=1)
+        futures = [engine.submit(data=self.X) for _ in range(8)]
+        assert entered.wait(10)
+        engine.shutdown(wait=False, drain=False)
+        gate.set()
+        served, rejected = 0, 0
+        for future in futures:
+            try:
+                future.result(30)
+                served += 1
+            except ServingError:
+                rejected += 1
+        assert served >= 1                # in-flight batches still finish
+        assert rejected >= 1              # the backlog is rejected, not hung
+        engine._batcher.join(10)
+        assert not engine._batcher.is_alive()
+
+    def test_admission_queue_orders_and_sheds(self):
+        q = _AdmissionQueue(3)
+        low_old = _Request({}, priority=0)
+        high = _Request({}, priority=5)
+        low_new = _Request({}, priority=0)
+        for request in (low_old, high, low_new):
+            q.put(request)
+        # Incoming equal-priority request is itself the newest low: rejected.
+        with pytest.raises(QueueFull):
+            q.put(_Request({}, priority=0))
+        # A higher-priority arrival evicts the newest queued low instead.
+        mid = _Request({}, priority=1)
+        q.put(mid)
+        assert low_new.future.done()
+        with pytest.raises(QueueFull):
+            low_new.future.result(0)
+        assert [q.pop(0.5) for _ in range(3)] == [high, mid, low_old]
+        assert q.pop(0.01) is None
+        assert q.counters() == {"shed_queue_full": 2, "shed_expired": 0}
