@@ -12,6 +12,8 @@ from .framing import ProtocolError, TruncatedFrameError
 from .rpc import RPCServer, RPCSession, Tracker, connect_tracker
 from .serving import (DeadlineExceeded, InferenceEngine, InferenceFuture,
                       QueueFull, RequestCancelled, ServingError, serve)
+from .traffic import (ReplayReport, Trace, TraceError, TraceReplayer,
+                      TraceRequest, TraceSpec, load_trace)
 
 #: ``repro.load`` — restore an exported module artifact without recompiling
 load = load_module
@@ -36,9 +38,15 @@ __all__ = [
     "QueueFull",
     "RPCServer",
     "RPCSession",
+    "ReplayReport",
     "RequestCancelled",
     "ServingError",
     "ShmArena",
+    "Trace",
+    "TraceError",
+    "TraceReplayer",
+    "TraceRequest",
+    "TraceSpec",
     "Tracker",
     "TruncatedFrameError",
     "WorkerCrash",

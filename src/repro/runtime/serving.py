@@ -12,7 +12,10 @@ artifact path) into an :class:`InferenceEngine` that
 * coalesces admitted requests along the graph's batch axis with dynamic
   batching (``max_batch`` requests per batch, waiting at most
   ``timeout_ms`` for the batch to fill; higher-priority requests pop
-  first),
+  first) — or, with ``max_batch="adaptive"``, picks each batch's size
+  limit from the :class:`_BatchCostModel` latency estimates, the current
+  queue depth, and the waiting requests' deadline headroom so estimated
+  goodput is maximised under the ``p99_target_ms`` target,
 * round-robins the batches across a pool of per-device
   :class:`~repro.runtime.executor.Executor` workers (multi-GPU or
   heterogeneous; workers can hold leases on a
@@ -175,9 +178,12 @@ class InferenceFuture:
         self._cancel_hook = None
         #: filled at completion: simulated seconds of the batch that served
         #: this request, its size in requests, and observed wall latency
+        #: (split into admission-queue wait and batch execution)
         self.simulated_latency: Optional[float] = None
         self.batch_size: Optional[int] = None
         self.wall_latency: Optional[float] = None
+        self.queue_wait: Optional[float] = None
+        self.execute_latency: Optional[float] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -332,6 +338,18 @@ class _AdmissionQueue:
         with self._cond:
             return len(self._items)
 
+    def deadline_headrooms(self, now: float) -> List[Optional[float]]:
+        """Remaining seconds until each live queued request's deadline
+        (``None`` = no deadline), in pop order — the adaptive batcher's
+        view of how much slack the queue has."""
+        with self._cond:
+            live = [request for request in self._items
+                    if not request.future.cancelled()
+                    and not request.expired(now)]
+        live.sort(key=lambda r: (-r.priority, r.seq))
+        return [None if request.deadline is None else request.deadline - now
+                for request in live]
+
     def note_expired(self, count: int = 1) -> None:
         """Record requests shed for expiry after they left the queue."""
         with self._cond:
@@ -370,13 +388,31 @@ class InferenceEngine:
 
     def __init__(self, module: CompiledModule, *,
                  devices: Union[None, int, Sequence[DeviceLike]] = None,
-                 max_batch: int = 8, timeout_ms: float = 2.0,
+                 max_batch: Union[int, str] = 8, timeout_ms: float = 2.0,
                  max_queue: int = 1024,
+                 p99_target_ms: Optional[float] = None,
+                 adaptive_max_batch: int = 8,
                  tracker=None, rpc_key: Optional[str] = None,
                  lease_timeout: float = 10.0, pool: str = "thread",
                  bundle_path: Optional[str] = None):
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if isinstance(max_batch, str):
+            if max_batch != "adaptive":
+                raise ValueError(f"max_batch must be an int >= 1 or "
+                                 f"'adaptive', got {max_batch!r}")
+            if adaptive_max_batch < 1:
+                raise ValueError(f"adaptive_max_batch must be >= 1, "
+                                 f"got {adaptive_max_batch}")
+            self._adaptive = True
+            max_batch = adaptive_max_batch
+        else:
+            self._adaptive = False
+            if max_batch < 1:
+                raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if p99_target_ms is not None and p99_target_ms <= 0:
+            raise ValueError(f"p99_target_ms must be > 0, "
+                             f"got {p99_target_ms}")
+        self.p99_target_s = None if p99_target_ms is None \
+            else p99_target_ms / 1000.0
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if pool not in ("thread", "process"):
@@ -400,14 +436,28 @@ class InferenceEngine:
                      and len({s.shape[0] for s in specs}) == 1
                      and specs[0].shape[0] >= 1)
         if not batchable and max_batch > 1:
-            raise ValueError(
-                "Dynamic batching needs every graph data input to share one "
-                "leading batch axis; this module's inputs are "
-                f"[{reference.describe_inputs()}] — serve with max_batch=1")
+            if self._adaptive:
+                # Adaptive sizing degrades gracefully: the policy can only
+                # ever choose batches of one on a non-batchable graph.
+                max_batch = 1
+            else:
+                raise ValueError(
+                    "Dynamic batching needs every graph data input to share "
+                    "one leading batch axis; this module's inputs are "
+                    f"[{reference.describe_inputs()}] — serve with "
+                    "max_batch=1")
         self.max_batch = max_batch
         self.native_batch = specs[0].shape[0] if batchable else 1
         self._cost = _BatchCostModel(module, [s.name for s in specs],
                                      self.native_batch if batchable else 1)
+        if self._adaptive:
+            # Adaptive sizing consults the cost model on every dispatch
+            # decision; estimating a batch size is a one-off compile that
+            # would otherwise stall the batcher loop (and expire queued
+            # requests) the first time each size comes up.  Pay the whole
+            # cost up front, while no request is waiting.
+            for size in range(1, self.max_batch + 1):
+                self._cost.times_for(size * self.native_batch)
 
         # Optional RPC leases: one exclusive device lease per worker.
         self._sessions = []
@@ -477,6 +527,10 @@ class InferenceEngine:
         self._occupancy: Dict[int, int] = {}
         self._wall_latencies: List[float] = []
         self._sim_latencies: List[float] = []
+        self._queue_waits: List[float] = []
+        self._exec_latencies: List[float] = []
+        #: adaptive batcher decisions: chosen batch-size limit -> count
+        self._adaptive_decisions: Dict[int, int] = {}
         self._device_busy = [0.0 for _ in self.devices]
         self._started_at = time.monotonic()
         self._stopped_at: Optional[float] = None
@@ -578,15 +632,52 @@ class InferenceEngine:
         return [future.result(timeout) for future in futures]
 
     # ------------------------------------------------------------------ batching
+    def _choose_batch_size(self, first: _Request) -> int:
+        """Adaptive sizing: the batch-size limit that maximises estimated
+        goodput (deadline-meeting requests per simulated second).
+
+        Consults :meth:`_BatchCostModel.times_for` for the per-batch latency
+        estimate at each candidate size, the admission queue's current depth
+        (never waits for requests that have not arrived), and each waiting
+        request's deadline headroom (a request whose slack is smaller than
+        the batch estimate cannot contribute goodput).  Candidates whose
+        estimate exceeds the ``p99_target_ms`` knob are rejected outright —
+        except size one, which is the only way to serve at all.
+        """
+        now = time.monotonic()
+        headrooms = [None if first.deadline is None else first.deadline - now]
+        headrooms.extend(self._admission.deadline_headrooms(now))
+        cap = max(1, min(self.max_batch, len(headrooms)))
+        best_size, best_goodput = 1, -1.0
+        for size in range(1, cap + 1):
+            try:
+                batch_time, _ = self._cost.times_for(size * self.native_batch)
+            except Exception:
+                break           # un-estimable size: keep the best so far
+            if self.p99_target_s is not None \
+                    and batch_time > self.p99_target_s and size > 1:
+                break           # estimates are monotone in rows; stop here
+            served = sum(1 for headroom in headrooms[:size]
+                         if headroom is None or headroom >= batch_time)
+            goodput = served / batch_time if batch_time > 0 else float(served)
+            if goodput > best_goodput:
+                best_goodput, best_size = goodput, size
+        with self._stats_lock:
+            self._adaptive_decisions[best_size] = \
+                self._adaptive_decisions.get(best_size, 0) + 1
+        return best_size
+
     def _batcher_loop(self) -> None:
         while True:
             item = self._admission.pop()
             if item is _SHUTDOWN:
                 break
             batch = [item]
+            limit = self._choose_batch_size(item) if self._adaptive \
+                else self.max_batch
             deadline = time.monotonic() + self.timeout_s
             stop = False
-            while len(batch) < self.max_batch:
+            while len(batch) < limit:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -750,6 +841,7 @@ class InferenceEngine:
             for request in batch:
                 request.future._reject(exc)
             return
+        exec_start = time.monotonic()
         if self._procpool is not None:
             # One round trip to worker process `index`: inputs and outputs
             # travel through a per-batch shm arena; each entry is the
@@ -767,6 +859,8 @@ class InferenceEngine:
                 except Exception as exc:
                     outcomes.append(exc)
         wall_latencies = []
+        queue_waits = []
+        exec_latencies = []
         violations = 0
         done_at = time.monotonic()
         for request, outcome in zip(batch, outcomes):
@@ -777,7 +871,11 @@ class InferenceEngine:
             future.simulated_latency = batch_time
             future.batch_size = len(batch)
             future.wall_latency = done_at - request.enqueued_at
+            future.queue_wait = exec_start - request.enqueued_at
+            future.execute_latency = done_at - exec_start
             wall_latencies.append(future.wall_latency)
+            queue_waits.append(future.queue_wait)
+            exec_latencies.append(future.execute_latency)
             # Finished late: the caller still gets the outputs (the work is
             # done), but the SLO miss is counted.
             if request.expired(done_at):
@@ -788,6 +886,8 @@ class InferenceEngine:
             self._device_busy[index] += batch_time
             self._sim_latencies.extend([batch_time] * len(batch))
             self._wall_latencies.extend(wall_latencies)
+            self._queue_waits.extend(queue_waits)
+            self._exec_latencies.extend(exec_latencies)
             self._deadline_violations += violations
 
     # ------------------------------------------------------------------ stats
@@ -819,6 +919,9 @@ class InferenceEngine:
             busy = list(self._device_busy)
             wall = list(self._wall_latencies)
             sim = list(self._sim_latencies)
+            queue_waits = list(self._queue_waits)
+            exec_latencies = list(self._exec_latencies)
+            decisions = dict(sorted(self._adaptive_decisions.items()))
             cancelled = self._n_cancelled
             violations = self._deadline_violations
             end = self._stopped_at or time.monotonic()
@@ -847,6 +950,16 @@ class InferenceEngine:
                 "duration_seconds": duration,
                 "throughput_rps": requests / duration,
                 "latency": self._percentiles(wall),
+                # Honest latency breakdown: time spent waiting for admission
+                # + coalescing vs time inside the batch execution itself.
+                "queue_wait": self._percentiles(queue_waits),
+                "execution": self._percentiles(exec_latencies),
+            },
+            "adaptive": {
+                "enabled": self._adaptive,
+                "p99_target_ms": None if self.p99_target_s is None
+                else self.p99_target_s * 1e3,
+                "decisions": decisions,
             },
             "slo": {
                 "max_queue": self.max_queue,
@@ -920,8 +1033,10 @@ class InferenceEngine:
 
 def serve(module_or_path: Union[CompiledModule, str], *,
           devices: Union[None, int, Sequence[DeviceLike]] = None,
-          max_batch: int = 8, timeout_ms: float = 2.0,
+          max_batch: Union[int, str] = 8, timeout_ms: float = 2.0,
           max_queue: int = 1024,
+          p99_target_ms: Optional[float] = None,
+          adaptive_max_batch: int = 8,
           tracker=None, rpc_key: Optional[str] = None,
           pool: str = "thread") -> InferenceEngine:
     """Start an inference engine over a compiled module or artifact path.
@@ -938,7 +1053,18 @@ def serve(module_or_path: Union[CompiledModule, str], *,
     max_batch / timeout_ms:
         Dynamic batching knobs: coalesce up to ``max_batch`` requests,
         waiting at most ``timeout_ms`` after the first request for the batch
-        to fill.
+        to fill.  ``max_batch="adaptive"`` replaces the fixed limit with a
+        cost-model-driven policy: each batch's size limit is chosen to
+        maximise estimated goodput given the current queue depth and the
+        waiting requests' deadline headroom (capped at
+        ``adaptive_max_batch``), so a lone request under light load
+        dispatches immediately instead of idling out the coalescing window.
+        With an integer ``max_batch`` the static path is byte-for-byte the
+        pre-adaptive behaviour.
+    p99_target_ms / adaptive_max_batch:
+        Adaptive-policy knobs: candidate batch sizes whose estimated
+        per-batch latency exceeds ``p99_target_ms`` are never chosen
+        (except size one), and ``adaptive_max_batch`` caps the chosen size.
     max_queue:
         Admission-queue bound: beyond this many queued requests the engine
         sheds load (expired first, then lowest-priority/newest) instead of
@@ -965,5 +1091,7 @@ def serve(module_or_path: Union[CompiledModule, str], *,
         bundle_path = str(module_or_path)
     return InferenceEngine(module, devices=devices, max_batch=max_batch,
                            timeout_ms=timeout_ms, max_queue=max_queue,
+                           p99_target_ms=p99_target_ms,
+                           adaptive_max_batch=adaptive_max_batch,
                            tracker=tracker, rpc_key=rpc_key, pool=pool,
                            bundle_path=bundle_path)

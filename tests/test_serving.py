@@ -480,3 +480,395 @@ class TestSLO:
         assert [q.pop(0.5) for _ in range(3)] == [high, mid, low_old]
         assert q.pop(0.01) is None
         assert q.counters() == {"shed_queue_full": 2, "shed_expired": 0}
+
+
+# ---------------------------------------------------------------------------
+# Property-based _AdmissionQueue invariants (satellite: seeded-random loops)
+# ---------------------------------------------------------------------------
+
+class TestAdmissionQueueProperties:
+    """Seeded-random interleavings of put/pop/expiry/cancel checked against
+    an inline reference model of the documented shedding semantics."""
+
+    @staticmethod
+    def _shadow_purge(items, expected):
+        kept = []
+        for entry in items:
+            request, expired = entry
+            if request.future.cancelled():
+                continue                      # dropped on sight, no counter
+            if expired:
+                expected["expired"].add(request)
+                expected["shed_expired"] += 1
+                continue
+            kept.append(entry)
+        items[:] = kept
+
+    def test_random_interleavings_match_reference_model(self):
+        import random as random_mod
+
+        for trial in range(25):
+            rng = random_mod.Random(f"admission-props-{trial}")
+            maxsize = rng.randint(1, 4)
+            q = _AdmissionQueue(maxsize)
+            now = time.monotonic()
+            items = []                        # shadow queue: [(req, expired)]
+            expected = {"expired": set(), "evicted": set(),
+                        "rejected": set(), "cancelled": set(),
+                        "shed_expired": 0, "shed_queue_full": 0}
+            puts, pops = [], []
+            shadow_seq = [0]
+
+            def shadow_put(request, expired):
+                # Mirror the queue's seq assignment (it numbers every put,
+                # even one it then rejects) so victim selection can compare
+                # (priority, -seq) before the real put runs.
+                request.seq = shadow_seq[0]
+                shadow_seq[0] += 1
+                entry = (request, expired)
+                if len(items) >= maxsize:
+                    self._shadow_purge(items, expected)
+                if len(items) >= maxsize:
+                    expected["shed_queue_full"] += 1
+                    candidates = items + [entry]
+                    victim = min(candidates,
+                                 key=lambda e: (e[0].priority, -e[0].seq))
+                    if victim is entry:
+                        expected["rejected"].add(request)
+                        return
+                    items.remove(victim)
+                    expected["evicted"].add(victim[0])
+                items.append(entry)
+
+            def shadow_pop():
+                self._shadow_purge(items, expected)
+                if not items:
+                    return None
+                best = max(items, key=lambda e: (e[0].priority, -e[0].seq))
+                items.remove(best)
+                return best[0]
+
+            ops = ["put_fresh"] * 5 + ["put_expired"] * 2 + ["pop"] * 3 \
+                + ["cancel"] * 2
+            for _ in range(50):
+                op = rng.choice(ops)
+                if op in ("put_fresh", "put_expired"):
+                    expired = op == "put_expired"
+                    deadline = (now - 1.0) if expired else (now + 1000.0)
+                    request = _Request({}, deadline=deadline,
+                                       priority=rng.randint(0, 3))
+                    puts.append(request)
+                    shadow_put(request, expired)
+                    expect_raise = request in expected["rejected"]
+                    try:
+                        q.put(request)
+                        raised = False
+                    except QueueFull:
+                        raised = True
+                    assert raised == expect_raise
+                    assert request.seq == shadow_seq[0] - 1
+                elif op == "pop":
+                    got = q.pop(0)
+                    want = shadow_pop()
+                    assert got is want
+                    if got is not None:
+                        pops.append(got)
+                elif op == "cancel":
+                    live = [e for e in items
+                            if not e[0].future.cancelled()]
+                    if live:
+                        victim = rng.choice(live)[0]
+                        assert victim.future.cancel() is True
+                        expected["cancelled"].add(victim)
+
+            while True:                        # drain what's left
+                got = q.pop(0)
+                want = shadow_pop()
+                assert got is want
+                if got is None:
+                    break
+                pops.append(got)
+
+            # -- invariants ------------------------------------------------
+            # Counters match the model and sum to the observed rejections.
+            assert q.counters() == {
+                "shed_queue_full": expected["shed_queue_full"],
+                "shed_expired": expected["shed_expired"]}
+            # Shedding order: every expired put rejects with
+            # DeadlineExceeded (never QueueFull) once purged ...
+            for request in expected["expired"]:
+                with pytest.raises(DeadlineExceeded):
+                    request.future.result(0)
+            # ... and queue-full victims are lowest-priority/newest: evicted
+            # queued requests resolve to QueueFull, while an incoming victim
+            # sees the raise directly and its future stays untouched.
+            for request in expected["evicted"]:
+                with pytest.raises(QueueFull):
+                    request.future.result(0)
+            for request in expected["rejected"]:
+                assert not request.future.done()
+            # No request is both shed and resolved (popped), and every put
+            # has exactly one disposition.
+            popped = set(pops)
+            shed = expected["expired"] | expected["evicted"] \
+                | expected["rejected"]
+            assert not (popped & shed)
+            assert not (popped & expected["cancelled"])
+            accounted = (len(popped) + len(shed)
+                         + len(expected["cancelled"] - shed))
+            assert accounted == len(puts)
+            # Popped requests are live: never expired, never cancelled.
+            for request in pops:
+                assert not request.future.done()
+
+
+# ---------------------------------------------------------------------------
+# cancel()/dispatch race (satellite: hostile-thread regression)
+# ---------------------------------------------------------------------------
+
+class TestCancelDispatchRace:
+    def test_hostile_cancels_never_execute_never_violate(self, module):
+        # A request cancelled while the batcher is coalescing must never
+        # execute and never count as a deadline violation — whichever side
+        # wins the claim race.
+        import random as random_mod
+
+        rng = random_mod.Random("cancel-race")
+        engine = repro.serve(module, max_batch=4, timeout_ms=2, devices=1)
+        executed, record_lock = [], threading.Lock()
+        original = engine._executors[0]._execute
+
+        def recording(inputs):
+            with record_lock:
+                executed.extend(
+                    int(m) for m in np.asarray(inputs["data"])[:, 0, 0, 0])
+            return original(inputs)
+
+        engine._executors[0]._execute = recording
+        futures, threads = [], []
+        try:
+            for marker in range(40):
+                x = np.zeros((1, 3, 16, 16), "float32")
+                x[0, 0, 0, 0] = marker
+                future = engine.submit(data=x, deadline_ms=60_000)
+                futures.append(future)
+
+                def hostile(f=future, delay=rng.uniform(0.0, 0.005)):
+                    time.sleep(delay)
+                    f.cancel()
+
+                thread = threading.Thread(target=hostile)
+                thread.start()
+                threads.append(thread)
+                time.sleep(rng.uniform(0.0, 0.002))
+            for thread in threads:
+                thread.join(10)
+            served, cancelled = set(), set()
+            for marker, future in enumerate(futures):
+                try:
+                    future.result(30)
+                    served.add(marker)
+                except RequestCancelled:
+                    cancelled.add(marker)
+        finally:
+            engine.shutdown()
+
+        assert served | cancelled == set(range(40))
+        with record_lock:
+            executed_set = set(executed)
+        # Cancelled requests never reached execution; served ones all did.
+        assert not (executed_set & cancelled)
+        assert served == executed_set
+        stats = engine.stats()
+        assert stats["requests"] == len(served)
+        assert stats["slo"]["cancelled"] == len(cancelled)
+        assert stats["slo"]["deadline_violations"] == 0
+
+    def test_cancel_after_claim_loses_the_race(self, module):
+        engine, gate, entered = _gated_engine(module, max_batch=1,
+                                              timeout_ms=1)
+        try:
+            future = engine.submit(data=np.zeros((1, 3, 16, 16), "float32"))
+            assert entered.wait(10)           # claimed: execution started
+            assert future.cancel() is False   # the hostile caller lost
+            assert not future.cancelled()
+        finally:
+            gate.set()
+        assert len(future.result(30)) == 1
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == 1
+        assert stats["slo"]["cancelled"] == 0
+
+
+# ---------------------------------------------------------------------------
+# _BatchCostModel across the zoo (satellite: estimates, caching, rejection)
+# ---------------------------------------------------------------------------
+
+def _zoo_variants():
+    """Small-footprint variants of every zoo model (same topologies)."""
+    from repro.frontend import (dcgan_generator, dqn, lstm_language_model,
+                                mobilenet, resnet18)
+    return {
+        "resnet-18": lambda: resnet18(image_size=32, num_classes=16),
+        "mobilenet": lambda: mobilenet(image_size=32, num_classes=16),
+        "lstm-lm": lambda: lstm_language_model(hidden_size=32, seq_len=2,
+                                               vocab_size=64),
+        "dqn": lambda: dqn(),
+        "dcgan": lambda: dcgan_generator(latent=16),
+    }
+
+
+@pytest.fixture(scope="class")
+def zoo_modules():
+    return {name: repro.compile(build(), target=cuda())
+            for name, build in _zoo_variants().items()}
+
+
+class TestBatchCostModel:
+    @staticmethod
+    def _cost_model(module):
+        from repro.runtime.serving import _BatchCostModel
+
+        specs = Executor(module).input_specs
+        return _BatchCostModel(module, [s.name for s in specs],
+                               specs[0].shape[0])
+
+    def test_estimates_monotone_non_decreasing_in_rows(self, zoo_modules):
+        # Non-decreasing, not strictly increasing: graphs whose shapes are
+        # pinned past a literal reshape (dcgan) legitimately estimate flat.
+        for name, module in zoo_modules.items():
+            cost = self._cost_model(module)
+            times = [cost.times_for(k * cost.native_rows)[0]
+                     for k in (1, 2, 4)]
+            assert times[0] > 0.0, name
+            assert times[0] <= times[1] <= times[2], (name, times)
+
+    def test_cached_reestimates_are_bit_identical(self, zoo_modules):
+        for name, module in zoo_modules.items():
+            first = self._cost_model(module)
+            second = self._cost_model(module)
+            rows = 2 * first.native_rows
+            a_total, a_kernels = first.times_for(rows)
+            b_total, b_kernels = first.times_for(rows)   # cached re-estimate
+            c_total, c_kernels = second.times_for(rows)  # fresh instance
+            assert a_total == b_total == c_total, name
+            assert a_kernels == b_kernels == c_kernels, name
+
+    def test_native_rows_come_from_the_compiled_module(self, zoo_modules):
+        for name, module in zoo_modules.items():
+            cost = self._cost_model(module)
+            total, kernels = cost.times_for(cost.native_rows)
+            assert total == module.total_time, name
+            assert kernels == [(k.name, k.time_seconds)
+                               for k in module.kernels], name
+
+
+def _non_batchable_module():
+    """Two data inputs with different leading dims: not dynamically
+    batchable (there is no shared batch axis to concatenate along)."""
+    b = ModelBuilder("nonbatch", seed=0)
+    x1 = b.input("x1", (1, 4))
+    x2 = b.input("x2", (2, 2))
+    out = b.add(x1, b.reshape(x2, (1, 4)))
+    graph, params = b.finalize(out)
+    return repro.compile((graph, params, {"x1": (1, 4), "x2": (2, 2)}),
+                         target=cuda())
+
+
+class TestNonBatchableGraphs:
+    def test_static_max_batch_gt_one_rejected_with_typed_error(self):
+        module = _non_batchable_module()
+        with pytest.raises(ValueError, match="leading batch axis"):
+            repro.serve(module, max_batch=2)
+
+    def test_adaptive_degrades_to_batches_of_one(self):
+        module = _non_batchable_module()
+        engine = repro.serve(module, max_batch="adaptive")
+        try:
+            assert engine.max_batch == 1
+            x1 = np.ones((1, 4), "float32")
+            x2 = np.ones((2, 2), "float32")
+            outs = engine.infer(x1=x1, x2=x2)
+            np.testing.assert_array_equal(outs[0], np.full((1, 4), 2.0,
+                                                           "float32"))
+        finally:
+            engine.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Adaptive batch sizing (tentpole: max_batch="adaptive")
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveBatching:
+    def test_knob_validation(self, module):
+        with pytest.raises(ValueError, match="max_batch"):
+            repro.serve(module, max_batch="auto")
+        with pytest.raises(ValueError, match="adaptive_max_batch"):
+            repro.serve(module, max_batch="adaptive", adaptive_max_batch=0)
+        with pytest.raises(ValueError, match="p99_target_ms"):
+            repro.serve(module, max_batch="adaptive", p99_target_ms=0.0)
+
+    def test_outputs_bit_identical_to_solo_execution(self, module,
+                                                     requests_and_expected):
+        inputs, expected = requests_and_expected
+        with repro.serve(module, max_batch="adaptive",
+                         p99_target_ms=120.0) as engine:
+            results = engine.infer_many([{"data": x} for x in inputs],
+                                        timeout=30)
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got[0], want)
+
+    def test_stats_expose_decisions_and_latency_split(self, module,
+                                                      requests_and_expected):
+        inputs, _ = requests_and_expected
+        engine = repro.serve(module, max_batch="adaptive",
+                             p99_target_ms=120.0)
+        futures = [engine.submit(data=x, deadline_ms=60_000) for x in inputs]
+        for future in futures:
+            future.result(30)
+            assert future.queue_wait is not None
+            assert future.execute_latency is not None
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["adaptive"]["enabled"] is True
+        assert stats["adaptive"]["p99_target_ms"] == 120.0
+        decisions = stats["adaptive"]["decisions"]
+        assert sum(decisions.values()) == stats["batches"]
+        assert all(1 <= size <= engine.max_batch for size in decisions)
+        assert stats["wall"]["queue_wait"]["mean_ms"] >= 0.0
+        assert stats["wall"]["execution"]["mean_ms"] > 0.0
+
+    def test_static_engines_report_adaptive_disabled(self, module):
+        with repro.serve(module, max_batch=2) as engine:
+            engine.infer(data=np.zeros((1, 3, 16, 16), "float32"))
+        stats = engine.stats()
+        assert stats["adaptive"]["enabled"] is False
+        assert stats["adaptive"]["decisions"] == {}
+
+    def test_deep_queue_coalesces_under_the_target(self, module):
+        # Pile requests behind a gate, then release: the adaptive batcher
+        # sees the whole backlog and its per-size estimates fit comfortably
+        # inside the p99 target, so at least one multi-request batch forms.
+        engine, gate, entered = _gated_engine(module,
+                                              max_batch="adaptive",
+                                              p99_target_ms=10_000.0,
+                                              devices=1)
+        futures = []
+        try:
+            futures.append(
+                engine.submit(data=np.zeros((1, 3, 16, 16), "float32")))
+            assert entered.wait(10)
+            for _ in range(12):
+                futures.append(
+                    engine.submit(data=np.zeros((1, 3, 16, 16), "float32")))
+            time.sleep(0.05)      # let the backlog settle in the queue
+        finally:
+            gate.set()
+        for future in futures:
+            future.result(30)
+        engine.shutdown()
+        stats = engine.stats()
+        assert stats["requests"] == len(futures)
+        assert stats["batches"] < len(futures)
+        assert max(stats["adaptive"]["decisions"]) > 1
