@@ -24,6 +24,8 @@ first access.  The lazily resolved top-level attributes:
 ``PassContext``      compilation configuration scope
 ``Sequential``       the pass manager
 ``TimingInstrument`` per-pass instrumentation
+``VerifierError``    base of the static-analysis error hierarchy
+``VerifyInstrument`` per-pass IR verification (``repro.analysis``)
 ``autotune``         the unified tuning session (``repro.autotvm``)
 ``TuningReport``     its result object (configs, curves, database)
 ``TuningOptions``    tuning-session configuration
@@ -60,8 +62,8 @@ __version__ = "0.2.0"
 
 #: lazily imported subpackages/submodules
 _SUBMODULES = frozenset({
-    "autotvm", "baselines", "compiler", "faults", "frontend", "graph",
-    "hardware", "runtime", "te", "tir", "topi", "workloads",
+    "analysis", "autotvm", "baselines", "compiler", "faults", "frontend",
+    "graph", "hardware", "runtime", "te", "tir", "topi", "workloads",
 })
 
 #: lazily resolved top-level attributes: name -> (module, attribute)
@@ -71,6 +73,8 @@ _LAZY_ATTRS = {
     "PassContext": ("repro.compiler", "PassContext"),
     "Sequential": ("repro.compiler", "Sequential"),
     "TimingInstrument": ("repro.compiler", "TimingInstrument"),
+    "VerifierError": ("repro.analysis", "VerifierError"),
+    "VerifyInstrument": ("repro.analysis", "VerifyInstrument"),
     "autotune": ("repro.autotvm", "autotune"),
     "ApplyHistoryBest": ("repro.autotvm", "ApplyHistoryBest"),
     "TuningOptions": ("repro.autotvm", "TuningOptions"),
@@ -85,8 +89,9 @@ _LAZY_ATTRS = {
 __all__ = sorted(_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
 
 if TYPE_CHECKING:  # static importers see the real modules
-    from . import (autotvm, baselines, compiler, faults, frontend, graph,
-                   hardware, runtime, te, tir, topi, workloads)
+    from . import (analysis, autotvm, baselines, compiler, faults, frontend,
+                   graph, hardware, runtime, te, tir, topi, workloads)
+    from .analysis import VerifierError, VerifyInstrument
     from .autotvm import (ApplyHistoryBest, TuningOptions, TuningReport,
                           autotune)
     from .compiler import (CompiledModule, PassContext, Sequential,

@@ -1,0 +1,133 @@
+"""Typed error taxonomy of the static-analysis layer.
+
+Every check the verifiers perform has a dedicated exception class, all
+rooted at :class:`VerifierError`.  An instance always knows *which* check
+failed (``check``), *where* it failed (``node`` — a graph node name or a TIR
+buffer/loop-var name) and, when raised from inside the pass pipeline, *which
+pass* produced the offending IR (``pass_name``).  Callers can therefore
+catch the broad classes (:class:`GraphVerifierError`,
+:class:`TIRVerifierError`) or pin an exact failure mode in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "VerifierError",
+    "GraphVerifierError",
+    "DuplicateNodeNameError",
+    "TopologicalOrderError",
+    "DanglingInputError",
+    "UnknownOperatorError",
+    "ShapeMismatchError",
+    "DtypeMismatchError",
+    "FusionLegalityError",
+    "LayoutError",
+    "MemoryAliasError",
+    "StorageSizeError",
+    "TIRVerifierError",
+    "OutOfBoundsError",
+    "UseBeforeDefError",
+    "ParallelHazardError",
+]
+
+
+class VerifierError(Exception):
+    """Base class of every static-analysis failure.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the violation.
+    check:
+        Stable name of the failing check (e.g. ``"memory_alias"``); defaults
+        to the class-level :attr:`check` of the concrete error type.
+    node:
+        Name of the offending IR object — a graph node, buffer or loop var.
+    pass_name:
+        Name of the pipeline pass after which the violation was detected,
+        when known.
+    """
+
+    check: str = "verify"
+
+    def __init__(self, message: str, *, check: Optional[str] = None,
+                 node: Optional[str] = None, pass_name: Optional[str] = None):
+        self.check = check or type(self).check
+        self.node = node
+        self.pass_name = pass_name
+        super().__init__(self._format(message))
+
+    def _format(self, message: str) -> str:
+        where = []
+        if self.pass_name:
+            where.append(f"after pass {self.pass_name!r}")
+        if self.node:
+            where.append(f"at {self.node!r}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        return f"[{self.check}] {message}{suffix}"
+
+
+class GraphVerifierError(VerifierError):
+    """A graph-level IR invariant was violated."""
+
+    check = "graph"
+
+
+class DuplicateNodeNameError(GraphVerifierError):
+    check = "unique_names"
+
+
+class TopologicalOrderError(GraphVerifierError):
+    check = "topological_order"
+
+
+class DanglingInputError(GraphVerifierError):
+    check = "dangling_input"
+
+
+class UnknownOperatorError(GraphVerifierError):
+    check = "known_operator"
+
+
+class ShapeMismatchError(GraphVerifierError):
+    check = "shape_inference"
+
+
+class DtypeMismatchError(GraphVerifierError):
+    check = "dtype_inference"
+
+
+class FusionLegalityError(GraphVerifierError):
+    check = "fusion_legality"
+
+
+class LayoutError(GraphVerifierError):
+    check = "layout_consistency"
+
+
+class MemoryAliasError(GraphVerifierError):
+    check = "memory_alias"
+
+
+class StorageSizeError(GraphVerifierError):
+    check = "storage_size"
+
+
+class TIRVerifierError(VerifierError):
+    """A loop-program (TIR) invariant was violated."""
+
+    check = "tir"
+
+
+class OutOfBoundsError(TIRVerifierError):
+    check = "buffer_bounds"
+
+
+class UseBeforeDefError(TIRVerifierError):
+    check = "def_before_use"
+
+
+class ParallelHazardError(TIRVerifierError):
+    check = "parallel_hazard"

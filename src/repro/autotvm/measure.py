@@ -61,10 +61,13 @@ class LocalMeasurer:
     bit-identical with this serial path.
     """
 
-    def __init__(self, number: int = 3, seed: int = 0):
+    def __init__(self, number: int = 3, seed: int = 0, verify: bool = False):
         self.number = number
         self.seed = seed
+        self.verify = verify
         self.num_measured = 0
+        self.num_rejected = 0
+        self._verify_cache: dict = {}
 
     def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResultRecord]:
         records: List[MeasureResultRecord] = []
@@ -88,11 +91,34 @@ class LocalMeasurer:
         that only provide ``lower`` keep the direct path.
         """
         task = inp.task
+        if self.verify:
+            self._verify_one(inp)
         if hasattr(task, "features_of"):
             return task.features_of(inp.config.index)
         from .. import tir
 
         return tir.extract_features(task.lower(inp.config))
+
+    def _verify_one(self, inp: MeasureInput) -> None:
+        """Statically verify the candidate's lowered program, raising the
+        typed :class:`~repro.analysis.errors.TIRVerifierError` for illegal
+        schedules so they are *rejected* (recorded as errored measurements)
+        instead of measured as garbage.  Results are memoized per
+        (task, config)."""
+        from ..analysis.tir_verify import verify_func
+
+        key = (inp.task.name, inp.config.index)
+        if key not in self._verify_cache:
+            try:
+                verify_func(inp.task.lower(inp.config))
+            except Exception as exc:  # cache the failure, re-raise each time
+                self._verify_cache[key] = exc
+            else:
+                self._verify_cache[key] = None
+        cached = self._verify_cache[key]
+        if cached is not None:
+            self.num_rejected += 1
+            raise cached
 
     def _measure_one(self, inp: MeasureInput) -> MeasureResultRecord:
         try:

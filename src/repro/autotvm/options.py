@@ -83,6 +83,10 @@ class TuningOptions:
     #: trials.  A single session against a fresh service produces the exact
     #: serviceless report.
     service: Optional[object] = None
+    #: statically verify every candidate's lowered program before measuring
+    #: it; illegal schedules (out-of-bounds accesses, parallel hazards) are
+    #: rejected as typed errors instead of entering the tuning history
+    verify: bool = False
     #: guarantee the recorded best never loses to the compiler's untuned
     #: fallback heuristic: if it does, the fallback configuration is recorded
     #: instead, so history-based compilation cannot regress a build

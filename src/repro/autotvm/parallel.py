@@ -33,8 +33,9 @@ class ParallelMeasurer(LocalMeasurer):
     which is also the fallback whenever a batch has a single candidate.
     """
 
-    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0):
-        super().__init__(number=number, seed=seed)
+    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0,
+                 verify: bool = False):
+        super().__init__(number=number, seed=seed, verify=verify)
         if n_parallel <= 0:
             raise ValueError(f"n_parallel must be positive, got {n_parallel}")
         self.n_parallel = n_parallel
@@ -128,16 +129,20 @@ class ProcessMeasurer(LocalMeasurer):
     the template registry) fall back to the serial path.
     """
 
-    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0):
-        super().__init__(number=number, seed=seed)
+    def __init__(self, n_parallel: int = 4, number: int = 3, seed: int = 0,
+                 verify: bool = False):
+        super().__init__(number=number, seed=seed, verify=verify)
         if n_parallel <= 0:
             raise ValueError(f"n_parallel must be positive, got {n_parallel}")
         self.n_parallel = n_parallel
 
     def measure(self, inputs: Sequence[MeasureInput]) -> List[MeasureResultRecord]:
         inputs = list(inputs)
+        # Candidate verification lowers each config in-parent, which is the
+        # expensive half of a measurement — the worker-pool split buys
+        # nothing then, so verified batches take the serial path.
         if self.n_parallel == 1 or len(inputs) <= 1 \
-                or not self._eligible(inputs):
+                or self.verify or not self._eligible(inputs):
             return super().measure(inputs)
 
         task = inputs[0].task

@@ -214,10 +214,13 @@ def _make_measurer(options: TuningOptions, seed: int) -> LocalMeasurer:
             from .parallel import ProcessMeasurer
 
             return ProcessMeasurer(n_parallel=options.n_parallel,
-                                   number=options.measure_number, seed=seed)
+                                   number=options.measure_number, seed=seed,
+                                   verify=options.verify)
         return ParallelMeasurer(n_parallel=options.n_parallel,
-                                number=options.measure_number, seed=seed)
-    return LocalMeasurer(number=options.measure_number, seed=seed)
+                                number=options.measure_number, seed=seed,
+                                verify=options.verify)
+    return LocalMeasurer(number=options.measure_number, seed=seed,
+                         verify=options.verify)
 
 
 def _config_stats(task: Task, config: ConfigEntity

@@ -92,10 +92,43 @@ def _resolve_model(model: ModelLike,
     return graph, dict(params or {}), shapes
 
 
+#: lowered programs already certified by ``compile(verify=True)``, keyed by
+#: (workload, args, target, config index) — kernels recur across models and
+#: opt levels, so each distinct program is verified exactly once per process
+_VERIFIED_PROGRAMS: set = set()
+
+
+def _verify_kernel_program(node, target: Target,
+                           config_index: Optional[int]) -> None:
+    """Statically verify the lowered loop program of one templated kernel.
+
+    Raises the typed :class:`~repro.analysis.errors.TIRVerifierError` when
+    the chosen schedule configuration produces an illegal program (e.g. a
+    compacted-buffer writeback that misindexes when a fused tile crosses a
+    row boundary) instead of simulating its latency as if it were sound.
+    """
+    from ..analysis.tir_verify import verify_func
+    from ..graph.op_timing import _TEMPLATED_OPS, make_task_for_node
+
+    if config_index is None or node.op not in _TEMPLATED_OPS:
+        return
+    # Key on the node's workload signature rather than the Task's args:
+    # building a Task materialises its whole config space, which would cost
+    # more than the verification it is meant to dedup.
+    key = (node.op, tuple(node.shape),
+           tuple(tuple(parent.shape) for parent in node.inputs),
+           repr(sorted(node.attrs.items())), target.name, config_index)
+    if key in _VERIFIED_PROGRAMS:
+        return
+    task = make_task_for_node(node, target)
+    verify_func(task.lowered(config_index))
+    _VERIFIED_PROGRAMS.add(key)
+
+
 def _generate_kernels(state: CompileState,
                       tuning_db: Optional[TuningDatabase],
-                      heterogeneous_targets: Optional[Dict[str, Target]]
-                      ) -> List[CompiledKernel]:
+                      heterogeneous_targets: Optional[Dict[str, Target]],
+                      verify: bool = False) -> List[CompiledKernel]:
     """Operator-level compilation: one kernel per fused group."""
     groups = state.groups
     if groups is None:  # fusion disabled: one kernel per operator
@@ -107,6 +140,9 @@ def _generate_kernels(state: CompileState,
             node_target = heterogeneous_targets[group.master.op]
         master = kernel_time(group.master, node_target,
                              tuning_db=tuning_db, fused=False)
+        if verify:
+            _verify_kernel_program(group.master, node_target,
+                                   master.config_index)
         fused_time = sum(
             kernel_time(node, node_target, tuning_db=tuning_db, fused=True).time
             for node in group.nodes if node is not group.master)
@@ -135,12 +171,16 @@ def _resolve_tuning_db(ctx: PassContext,
     return ApplyHistoryBest.current()
 
 
-def _unplanned_memory(graph: Graph, dtype_bytes: int = 4) -> MemoryPlan:
+def _unplanned_memory(graph: Graph,
+                      dtype_bytes: Optional[int] = None) -> MemoryPlan:
     """Fallback plan when ``plan_memory`` is disabled: no storage reuse."""
+    from ..tir.stmt import dtype_bytes as _elem_bytes
+
     storage_of: Dict[str, int] = {}
     token_bytes: Dict[int, int] = {}
     for token, node in enumerate(graph.op_nodes):
-        size = int(np.prod(node.shape)) * dtype_bytes
+        elem = dtype_bytes if dtype_bytes is not None else _elem_bytes(node.dtype)
+        size = int(np.prod(node.shape)) * elem
         storage_of[node.name] = token
         token_bytes[token] = size
     return MemoryPlan(storage_of, token_bytes, sum(token_bytes.values()))
@@ -152,7 +192,8 @@ def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
             opt_level: Optional[int] = None,
             tuning_db: Optional[TuningDatabase] = None,
             heterogeneous_targets: Optional[Dict[str, Union[Target, str]]] = None,
-            pipeline: Optional[Union[Sequential, Sequence]] = None
+            pipeline: Optional[Union[Sequential, Sequence]] = None,
+            verify: Optional[bool] = None
             ) -> CompiledModule:
     """Compile a model for a target and return a :class:`CompiledModule`.
 
@@ -181,6 +222,12 @@ def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
     pipeline:
         Replace the default pass pipeline with a :class:`Sequential` or a
         list of pass names / :class:`Pass` objects.
+    verify:
+        Run the static IR verifier (:mod:`repro.analysis`) after every pass
+        and over every generated kernel's lowered program; broken IR raises
+        a typed :class:`~repro.analysis.errors.VerifierError` naming the
+        offending pass and node.  Defaults to
+        ``PassContext.config["verify"]`` (off when unset).
     """
     graph, params, shapes = _resolve_model(model, params, input_shapes)
     resolved_target = _resolve_target(target)
@@ -192,17 +239,39 @@ def compile(model: ModelLike, target: Union[Target, str, None] = None, *,
     ctx = PassContext.current()
     if opt_level is not None:
         ctx = ctx.cloned(opt_level=opt_level)
+    verify_on = bool(ctx.config.get("verify", False)) if verify is None else verify
 
     timing = TimingInstrument()
+    instruments = list(ctx.instruments) + [timing]
+    configured_bytes = ctx.config.get("plan_memory.dtype_bytes")
+    if verify_on:
+        from ..analysis.instrument import VerifyInstrument
+
+        instruments.append(VerifyInstrument(
+            dtype_bytes=None if configured_bytes is None
+            else int(configured_bytes)))
     state = CompileState(graph=graph, params=params, target=resolved_target,
                          input_shapes=shapes)
     sequential = pipeline if isinstance(pipeline, Sequential) else Sequential(pipeline)
-    state = sequential(state, ctx, instruments=list(ctx.instruments) + [timing])
+    state = sequential(state, ctx, instruments=instruments)
 
     if state.memory_plan is None:
-        state.memory_plan = _unplanned_memory(state.graph)
+        state.memory_plan = _unplanned_memory(
+            state.graph, None if configured_bytes is None
+            else int(configured_bytes))
+    if verify_on:
+        # Final check: the post-pipeline graph together with the artifacts
+        # codegen consumes (fusion groups, possibly the fallback memory plan
+        # built above, which no pass instrument ever saw).
+        from ..analysis.graph_verify import verify_graph
+
+        verify_graph(state.graph, groups=state.groups,
+                     memory_plan=state.memory_plan,
+                     dtype_bytes=None if configured_bytes is None
+                     else int(configured_bytes),
+                     pass_name="codegen")
     kernels = _generate_kernels(state, _resolve_tuning_db(ctx, tuning_db),
-                                het_targets)
+                                het_targets, verify=verify_on)
     for instrument in ctx.instruments:
         for kernel in kernels:
             instrument.observe_kernel(kernel)

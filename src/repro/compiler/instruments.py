@@ -18,8 +18,27 @@ from typing import TYPE_CHECKING, Dict, List
 if TYPE_CHECKING:
     from .pass_manager import CompileState, PassInfo
 
-__all__ = ["PassInstrument", "PassRecord", "TimingInstrument",
-           "aggregate_timings"]
+__all__ = ["InstrumentError", "PassInstrument", "PassRecord",
+           "TimingInstrument", "aggregate_timings"]
+
+
+class InstrumentError(RuntimeError):
+    """An instrument hook itself crashed (distinct from an instrument
+    *reporting* a problem, e.g. a
+    :class:`~repro.analysis.errors.VerifierError`, which propagates as-is).
+
+    Carries which instrument failed around which pass, with the original
+    exception as ``__cause__``.
+    """
+
+    def __init__(self, instrument_name: str, pass_name: str, hook: str,
+                 original: BaseException):
+        self.instrument_name = instrument_name
+        self.pass_name = pass_name
+        self.hook = hook
+        super().__init__(
+            f"instrument {instrument_name!r} failed in {hook} around pass "
+            f"{pass_name!r}: {type(original).__name__}: {original}")
 
 
 def aggregate_timings(records) -> Dict[str, float]:

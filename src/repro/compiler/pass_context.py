@@ -64,17 +64,37 @@ class PassContext:
 
     def __enter__(self) -> "PassContext":
         self._stack().append(self)
-        for instrument in self.instruments:
-            instrument.enter_pass_ctx()
+        entered = []
+        try:
+            for instrument in self.instruments:
+                instrument.enter_pass_ctx()
+                entered.append(instrument)
+        except BaseException:
+            # A crashing instrument must not leave this context active (the
+            # ``with`` body never runs, so ``__exit__`` is never called):
+            # unwind the instruments that did enter, then pop the stack.
+            for instrument in reversed(entered):
+                try:
+                    instrument.exit_pass_ctx()
+                except Exception:
+                    pass  # already propagating the original failure
+            self._stack().pop()
+            raise
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        for instrument in self.instruments:
-            instrument.exit_pass_ctx()
-        stack = self._stack()
-        if not stack or stack[-1] is not self:
-            raise RuntimeError("PassContext stack corrupted: __exit__ out of order")
-        stack.pop()
+        try:
+            for instrument in self.instruments:
+                instrument.exit_pass_ctx()
+        finally:
+            # The thread-local stack must stay consistent even when an
+            # instrument's exit hook raises, or every later compilation on
+            # this thread would run under a stale context.
+            stack = self._stack()
+            if not stack or stack[-1] is not self:
+                raise RuntimeError(
+                    "PassContext stack corrupted: __exit__ out of order")
+            stack.pop()
 
     # ------------------------------------------------------------- helpers
     def cloned(self, opt_level: Optional[int] = None) -> "PassContext":

@@ -175,6 +175,28 @@ def _as_pass(entry: Union[str, Pass, Callable]) -> Pass:
 # The pass manager
 # ---------------------------------------------------------------------------
 
+def _run_hook(instrument, hook: str, pass_name: str, fn, *args) -> None:
+    """Run one instrument hook, distinguishing *reports* from *crashes*.
+
+    A :class:`~repro.analysis.errors.VerifierError` is the instrument doing
+    its job (the IR is broken — the error already names the pass) and
+    propagates untouched.  Anything else is the instrument itself failing,
+    which would otherwise masquerade as a compiler bug of the surrounding
+    pass — it is wrapped in :class:`InstrumentError` naming the instrument,
+    the hook and the pass, with the original as ``__cause__``.
+    """
+    from ..analysis.errors import VerifierError
+    from .instruments import InstrumentError
+
+    try:
+        fn(*args)
+    except VerifierError:
+        raise
+    except Exception as exc:
+        name = getattr(instrument, "name", type(instrument).__name__)
+        raise InstrumentError(name, pass_name, hook, exc) from exc
+
+
 class Sequential:
     """Runs a list of passes in order under a :class:`PassContext`.
 
@@ -225,12 +247,15 @@ class Sequential:
             if SHAPE_ANALYSIS in pass_.info.required:
                 state.ensure_shapes()
             for instrument in instruments:
-                instrument.run_before_pass(pass_.info, state)
+                _run_hook(instrument, "run_before_pass", pass_.info.name,
+                          instrument.run_before_pass, pass_.info, state)
             started = time.perf_counter()
             state = pass_(state, ctx)
             elapsed = time.perf_counter() - started
             for instrument in instruments:
-                instrument.run_after_pass(pass_.info, state, elapsed)
+                _run_hook(instrument, "run_after_pass", pass_.info.name,
+                          instrument.run_after_pass, pass_.info, state,
+                          elapsed)
             executed.append(pass_.info.name)
         state.stats["passes_executed"] = executed  # type: ignore[assignment]
         state.ensure_shapes()

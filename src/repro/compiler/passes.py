@@ -71,7 +71,8 @@ def fuse_ops(state: CompileState, ctx: PassContext) -> None:
 @register_pass("plan_memory", opt_level=0)
 def plan_memory(state: CompileState, ctx: PassContext) -> None:
     """Static memory planning: liveness analysis + greedy storage reuse."""
-    dtype_bytes = int(ctx.config.get("plan_memory.dtype_bytes", 4))
+    configured = ctx.config.get("plan_memory.dtype_bytes")
+    dtype_bytes = None if configured is None else int(configured)
     state.memory_plan = _plan_memory(state.graph, dtype_bytes=dtype_bytes)
 
 

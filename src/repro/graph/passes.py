@@ -184,8 +184,16 @@ class MemoryPlan:
         return self.naive_bytes / self.planned_bytes
 
 
-def plan_memory(graph: Graph, dtype_bytes: int = 4) -> MemoryPlan:
-    """Greedy storage reuse for intermediate tensors (liveness based)."""
+def plan_memory(graph: Graph, dtype_bytes: Optional[int] = None) -> MemoryPlan:
+    """Greedy storage reuse for intermediate tensors (liveness based).
+
+    ``dtype_bytes=None`` (the default) sizes every tensor from its node's
+    inferred dtype, so fp16/int8 graphs get correctly-sized storage tokens;
+    passing an integer forces a uniform element size (the legacy behaviour,
+    ``dtype_bytes=4``).
+    """
+    from ..tir.stmt import dtype_bytes as _elem_bytes
+
     consumers = graph.consumers()
     order = {id(n): i for i, n in enumerate(graph.nodes)}
     last_use: Dict[int, int] = {}
@@ -208,7 +216,8 @@ def plan_memory(graph: Graph, dtype_bytes: int = 4) -> MemoryPlan:
             free_tokens.append((token_bytes[token], token))
         if node.is_variable:
             continue
-        size = int(np.prod(node.shape)) * dtype_bytes
+        elem = dtype_bytes if dtype_bytes is not None else _elem_bytes(node.dtype)
+        size = int(np.prod(node.shape)) * elem
         naive += size
         # Best-fit reuse of a free token.
         free_tokens.sort()

@@ -1,0 +1,417 @@
+"""Tests for the static-analysis layer: graph/TIR verifiers, the mutation
+harness, ``compile(verify=True)`` wiring, candidate-schedule rejection in the
+measurers, instrument failure paths and the invariant linter."""
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+import repro
+from repro.analysis import (
+    MUTATIONS,
+    DtypeMismatchError,
+    DuplicateNodeNameError,
+    OutOfBoundsError,
+    ParallelHazardError,
+    ShapeMismatchError,
+    StorageSizeError,
+    TIRVerifierError,
+    UseBeforeDefError,
+    VerifierError,
+    VerifyInstrument,
+    run_all,
+    run_mutation,
+    verify_func,
+    verify_graph,
+)
+from repro.autotvm.measure import LocalMeasurer, MeasureInput
+from repro.compiler import PassContext
+from repro.compiler.instruments import InstrumentError, PassInstrument
+from repro.graph.ir import Graph, Node
+from repro.graph.passes import fuse_ops, plan_memory
+from repro.te.expr import Add, FloatImm, IntImm, Var
+from repro.tir.stmt import (Buffer, BufferLoad, BufferStore, For, ForKind,
+                            LoweredFunc)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _small_graph(dtypes=None):
+    """conv2d -> bias_add -> relu with a residual add (two consumers)."""
+    data = Node("null", "data")
+    weight = Node("null", "weight")
+    bias = Node("null", "bias")
+    conv = Node("conv2d", "conv0", [data, weight],
+                {"strides": 1, "padding": 1})
+    biased = Node("bias_add", "bias0", [conv, bias])
+    act = Node("relu", "relu0", [biased])
+    residual = Node("add", "add0", [act, biased])
+    graph = Graph([residual])
+    graph.infer_shapes({"data": (1, 3, 8, 8), "weight": (8, 3, 3, 3),
+                        "bias": (1, 8, 8, 8)}, dtypes=dtypes)
+    return graph
+
+
+def _elemwise_func(extent=16, size=16):
+    a = Buffer("a", (size,))
+    b = Buffer("b", (size,))
+    i = Var("i")
+    body = For(i, 0, extent,
+               BufferStore(b, [i], Add(BufferLoad(a, [i]), FloatImm(1.0))))
+    return LoweredFunc("elemwise", [a, b], body)
+
+
+# ---------------------------------------------------------------------------
+# Graph verifier
+# ---------------------------------------------------------------------------
+
+class TestGraphVerifier:
+    def test_clean_graph_verifies(self):
+        graph = _small_graph()
+        verify_graph(graph, groups=fuse_ops(graph),
+                     memory_plan=plan_memory(graph))
+
+    def test_shape_corruption_names_check_node_and_pass(self):
+        graph = _small_graph()
+        node = next(n for n in graph.op_nodes if n.name == "relu0")
+        node.shape = (2, 2)
+        with pytest.raises(ShapeMismatchError) as err:
+            verify_graph(graph, pass_name="bad_pass")
+        assert err.value.check == "shape_inference"
+        assert "relu0" in str(err.value)
+        assert err.value.pass_name == "bad_pass"
+        assert "bad_pass" in str(err.value)
+
+    def test_duplicate_names_rejected(self):
+        graph = _small_graph()
+        next(n for n in graph.op_nodes if n.name == "relu0").name = "bias0"
+        with pytest.raises(DuplicateNodeNameError):
+            verify_graph(graph)
+
+    def test_undersized_storage_rejected(self):
+        graph = _small_graph()
+        plan = plan_memory(graph)
+        token = plan.storage_of["conv0"]
+        plan.token_bytes[token] //= 2
+        with pytest.raises(StorageSizeError):
+            verify_graph(graph, memory_plan=plan)
+
+    def test_all_errors_subclass_verifier_error(self):
+        graph = _small_graph()
+        graph.op_nodes[0].shape = (1,)
+        with pytest.raises(VerifierError):
+            verify_graph(graph)
+
+
+# ---------------------------------------------------------------------------
+# TIR verifier
+# ---------------------------------------------------------------------------
+
+class TestTIRVerifier:
+    def test_clean_func_verifies(self):
+        verify_func(_elemwise_func())
+
+    def test_static_oob_detected(self):
+        with pytest.raises(OutOfBoundsError) as err:
+            verify_func(_elemwise_func(extent=32, size=16))
+        assert err.value.check == "buffer_bounds"
+
+    def test_undefined_loop_var_detected(self):
+        a = Buffer("a", (16,))
+        b = Buffer("b", (16,))
+        i, phantom = Var("i"), Var("phantom")
+        body = For(i, 0, 16, BufferStore(b, [phantom], BufferLoad(a, [i])))
+        with pytest.raises(UseBeforeDefError):
+            verify_func(LoweredFunc("bad", [a, b], body))
+
+    def test_parallel_reduction_hazard_detected(self):
+        a = Buffer("a", (16,))
+        out = Buffer("out", (1,))
+        i = Var("i")
+        body = For(i, 0, 16,
+                   BufferStore(out, [IntImm(0)],
+                               Add(BufferLoad(out, [IntImm(0)]),
+                                   BufferLoad(a, [i]))),
+                   kind=ForKind.PARALLEL)
+        with pytest.raises(ParallelHazardError) as err:
+            verify_func(LoweredFunc("reduce", [a, out], body))
+        assert err.value.check == "parallel_hazard"
+
+
+# ---------------------------------------------------------------------------
+# Mutation harness: every class caught with the exact typed error
+# ---------------------------------------------------------------------------
+
+class TestMutationHarness:
+    def test_at_least_eight_classes(self):
+        assert len(MUTATIONS) >= 8
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_mutation_caught_with_exact_type(self, name):
+        outcome = run_mutation(name, seed=0)
+        assert outcome.ok, (f"{name}: expected {outcome.expected}, got "
+                            f"{outcome.error_type}: {outcome.message}")
+
+    def test_run_all_deterministic_across_seeds(self):
+        for seed in (1, 2, 3):
+            outcomes = run_all(seed=seed)
+            failed = [o.name for o in outcomes if not o.ok]
+            assert not failed, f"seed {seed}: verifier missed {failed}"
+
+
+# ---------------------------------------------------------------------------
+# compile(verify=True) wiring
+# ---------------------------------------------------------------------------
+
+class TestCompileVerify:
+    @pytest.mark.parametrize("opt_level", [0, 2, 3])
+    def test_zoo_model_verifies_clean(self, opt_level):
+        module = repro.compile("dqn", target="arm_cpu",
+                               opt_level=opt_level, verify=True)
+        assert module.kernels
+
+    def test_config_key_enables_verification(self):
+        with PassContext(opt_level=2, config={"verify": True}):
+            repro.compile("dqn", target="arm_cpu")
+
+    def test_corrupting_pass_caught_and_named(self):
+        def clobber_names(state, ctx):
+            ops = state.graph.op_nodes
+            ops[1].name = ops[0].name
+
+        with pytest.raises(DuplicateNodeNameError) as err:
+            with PassContext(opt_level=2, extra_passes=[clobber_names]):
+                repro.compile("dqn", target="arm_cpu", verify=True)
+        assert err.value.pass_name == "clobber_names"
+
+    def test_verify_off_by_default(self):
+        def clobber_dtype(state, ctx):
+            state.graph.op_nodes[0].dtype = "float16"
+
+        # Without verify the corruption flows through silently; with verify
+        # the re-inference disagreement is caught right after the pass.
+        with PassContext(opt_level=2, extra_passes=[clobber_dtype]):
+            repro.compile("dqn", target="arm_cpu")
+        with pytest.raises(DtypeMismatchError):
+            with PassContext(opt_level=2, extra_passes=[clobber_dtype]):
+                repro.compile("dqn", target="arm_cpu", verify=True)
+
+    def test_instrument_counts_passes(self):
+        instrument = VerifyInstrument()
+        with PassContext(opt_level=2, instruments=[instrument]):
+            repro.compile("dqn", target="arm_cpu")
+        assert instrument.passes_verified > 0
+
+
+# ---------------------------------------------------------------------------
+# Candidate-schedule verification in the measurers
+# ---------------------------------------------------------------------------
+
+class _BrokenTask:
+    """Duck-typed task whose every schedule lowers to an OOB program."""
+
+    name = "broken_task"
+
+    def __init__(self):
+        self.target = SimpleNamespace(model=None)
+
+    def lower(self, config):
+        return _elemwise_func(extent=32, size=16)
+
+
+class TestMeasurerVerify:
+    def test_illegal_schedule_rejected_as_typed_error(self):
+        measurer = LocalMeasurer(verify=True)
+        inp = MeasureInput(task=_BrokenTask(),
+                           config=SimpleNamespace(index=7))
+        with pytest.raises(TIRVerifierError):
+            measurer._verify_one(inp)
+        assert measurer.num_rejected == 1
+
+    def test_rejection_memoized_per_config(self):
+        measurer = LocalMeasurer(verify=True)
+        task = _BrokenTask()
+        inp = MeasureInput(task=task, config=SimpleNamespace(index=7))
+        for _ in range(3):
+            with pytest.raises(TIRVerifierError):
+                measurer._verify_one(inp)
+        assert measurer.num_rejected == 3
+        assert len(measurer._verify_cache) == 1
+
+    def test_rejected_candidate_becomes_errored_measurement(self):
+        measurer = LocalMeasurer(verify=True)
+        inp = MeasureInput(task=_BrokenTask(),
+                           config=SimpleNamespace(index=3))
+        record = measurer._measure_one(inp)
+        assert record.mean_time == float("inf")
+        assert record.error and "buffer_bounds" in record.error
+
+    def test_verify_off_skips_the_check(self):
+        measurer = LocalMeasurer()
+        assert not measurer.verify
+        assert measurer.num_rejected == 0
+
+
+# ---------------------------------------------------------------------------
+# Instrument failure paths (pass manager + PassContext stack)
+# ---------------------------------------------------------------------------
+
+class _CrashingInstrument(PassInstrument):
+    name = "crasher"
+
+    def __init__(self, hook):
+        self._hook = hook
+
+    def run_before_pass(self, pass_info, state):
+        if self._hook == "run_before_pass":
+            raise ValueError("instrument bug")
+
+    def run_after_pass(self, pass_info, state, seconds):
+        if self._hook == "run_after_pass":
+            raise ValueError("instrument bug")
+
+
+class TestInstrumentFailurePaths:
+    @pytest.mark.parametrize("hook", ["run_before_pass", "run_after_pass"])
+    def test_crash_wrapped_as_instrument_error(self, hook):
+        with pytest.raises(InstrumentError) as err:
+            with PassContext(opt_level=2,
+                             instruments=[_CrashingInstrument(hook)]):
+                repro.compile("dqn", target="arm_cpu")
+        assert err.value.instrument_name == "crasher"
+        assert err.value.hook == hook
+        assert err.value.pass_name  # names the surrounding pass
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_verifier_report_not_wrapped(self):
+        class Reporter(PassInstrument):
+            name = "reporter"
+
+            def run_after_pass(self, pass_info, state, seconds):
+                raise DuplicateNodeNameError("x", pass_name=pass_info.name)
+
+        with pytest.raises(DuplicateNodeNameError):
+            with PassContext(opt_level=2, instruments=[Reporter()]):
+                repro.compile("dqn", target="arm_cpu")
+
+    def test_enter_failure_leaves_stack_consistent(self):
+        entered_exits = []
+
+        class GoodInstrument(PassInstrument):
+            def exit_pass_ctx(self):
+                entered_exits.append("good")
+
+        class BadEnter(PassInstrument):
+            def enter_pass_ctx(self):
+                raise RuntimeError("enter bug")
+
+        depth = len(PassContext._stack())
+        with pytest.raises(RuntimeError, match="enter bug"):
+            with PassContext(instruments=[GoodInstrument(), BadEnter()]):
+                pytest.fail("body must not run")
+        assert len(PassContext._stack()) == depth
+        # the instrument that did enter was unwound
+        assert entered_exits == ["good"]
+
+    def test_exit_failure_still_pops_stack(self):
+        class BadExit(PassInstrument):
+            def exit_pass_ctx(self):
+                raise RuntimeError("exit bug")
+
+        depth = len(PassContext._stack())
+        with pytest.raises(RuntimeError, match="exit bug"):
+            with PassContext(instruments=[BadExit()]):
+                pass
+        assert len(PassContext._stack()) == depth
+        # a later compilation on this thread sees a clean default context
+        assert PassContext.current().opt_level == 2
+
+
+# ---------------------------------------------------------------------------
+# Dtype-aware memory planning (low-precision regression)
+# ---------------------------------------------------------------------------
+
+class TestLowPrecisionPlanning:
+    def test_fp16_halves_planned_bytes_and_keeps_reuse_ratio(self):
+        fp32 = plan_memory(_small_graph())
+        half_dtypes = {"data": "float16", "weight": "float16",
+                       "bias": "float16"}
+        fp16 = plan_memory(_small_graph(dtypes=half_dtypes))
+        assert fp16.planned_bytes * 2 == fp32.planned_bytes
+        assert fp16.naive_bytes * 2 == fp32.naive_bytes
+        assert fp16.reuse_ratio == pytest.approx(fp32.reuse_ratio)
+        assert fp16.reuse_ratio > 1.0  # planning actually reuses storage
+
+    def test_int8_quarter_sized_tokens(self):
+        int8_dtypes = {"data": "int8", "weight": "int8", "bias": "int8"}
+        int8 = plan_memory(_small_graph(dtypes=int8_dtypes))
+        fp32 = plan_memory(_small_graph())
+        assert int8.planned_bytes * 4 == fp32.planned_bytes
+
+    def test_legacy_uniform_element_size_override(self):
+        half_dtypes = {"data": "float16", "weight": "float16",
+                       "bias": "float16"}
+        forced = plan_memory(_small_graph(dtypes=half_dtypes), dtype_bytes=4)
+        fp32 = plan_memory(_small_graph())
+        assert forced.planned_bytes == fp32.planned_bytes
+
+    def test_verifier_audits_plan_with_matching_sizes(self):
+        half_dtypes = {"data": "float16", "weight": "float16",
+                       "bias": "float16"}
+        graph = _small_graph(dtypes=half_dtypes)
+        verify_graph(graph, memory_plan=plan_memory(graph))
+        # auditing the fp16 plan as if elements were 4 bytes must fail
+        with pytest.raises(StorageSizeError):
+            verify_graph(graph, memory_plan=plan_memory(graph),
+                         dtype_bytes=4)
+
+
+# ---------------------------------------------------------------------------
+# Invariant linter
+# ---------------------------------------------------------------------------
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "lint_invariants", REPO_ROOT / "tools" / "lint_invariants.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module  # dataclasses resolve annotations here
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLintInvariants:
+    def test_source_tree_is_clean(self):
+        linter = _load_linter()
+        violations = linter.lint_tree([REPO_ROOT / "src" / "repro"])
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_rules_fire_on_violations(self, tmp_path):
+        linter = _load_linter()
+        bad = tmp_path / "runtime" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import threading, time\n"
+            "try:\n    pass\nexcept:\n    pass\n"
+            "t = threading.Thread(target=print)\n"
+            "def poll():\n"
+            "    while True:\n"
+            "        time.sleep(1)\n")
+        rules = {v.rule for v in linter.lint_file(bad)}
+        assert rules == {"bare-except", "implicit-daemon",
+                         "unbounded-sleep-poll"}
+
+    def test_exiting_poll_loop_not_flagged(self, tmp_path):
+        linter = _load_linter()
+        ok = tmp_path / "runtime" / "ok.py"
+        ok.parent.mkdir()
+        ok.write_text(
+            "import time\n"
+            "def wait(evt):\n"
+            "    while True:\n"
+            "        if evt.is_set():\n"
+            "            break\n"
+            "        time.sleep(0.1)\n")
+        assert linter.lint_file(ok) == []

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""AST-based invariant linter for the repro source tree.
+
+Static checks for project invariants that ordinary linters don't express.
+Run from the repository root (CI runs it in the ``static-analysis`` job)::
+
+    python tools/lint_invariants.py            # lint src/repro
+    python tools/lint_invariants.py --list     # show the rules
+
+Rules
+-----
+``bare-except``
+    No bare ``except:`` clauses anywhere in ``src/repro``.  A bare except
+    swallows ``KeyboardInterrupt``/``SystemExit`` and hides typed
+    :class:`~repro.analysis.errors.VerifierError` reports; catch
+    ``Exception`` (or something narrower) instead.
+
+``implicit-daemon``
+    Every ``threading.Thread(...)`` construction must pass ``daemon=``
+    explicitly.  Background threads that default to non-daemon keep the
+    interpreter alive when a tuning session or serving engine is abandoned
+    without ``close()``; making the choice explicit forces each call site
+    to decide its shutdown story.
+
+``unbounded-sleep-poll``
+    Restricted to ``src/repro/runtime/``: a ``time.sleep(...)`` inside a
+    ``while True:`` loop that contains no ``break``, ``return`` or
+    ``raise`` is an infinite poll that can never exit — runtime loops must
+    poll against a deadline or an event, not sleep forever.
+
+Exit status is 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TREE = REPO_ROOT / "src" / "repro"
+
+RULES = {
+    "bare-except": "no bare `except:` clauses (catch Exception or narrower)",
+    "implicit-daemon": "threading.Thread(...) must pass daemon= explicitly",
+    "unbounded-sleep-poll": ("runtime/: no time.sleep inside a `while True` "
+                             "loop with no break/return/raise"),
+}
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        path = self.path
+        try:
+            path = path.relative_to(REPO_ROOT)
+        except ValueError:
+            pass
+        return f"{path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _is_thread_ctor(call: ast.Call) -> bool:
+    """``threading.Thread(...)`` or bare ``Thread(...)``."""
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "Thread":
+        return True
+    return isinstance(fn, ast.Name) and fn.id == "Thread"
+
+
+def _is_sleep(call: ast.Call) -> bool:
+    """``time.sleep(...)`` or bare ``sleep(...)``."""
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "sleep":
+        return True
+    return isinstance(fn, ast.Name) and fn.id == "sleep"
+
+
+def _loop_can_exit(loop: ast.While) -> bool:
+    """Whether the loop body contains a break/return/raise of its own
+    (not one belonging to a nested loop or function)."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.Return, ast.Raise)):
+            return True
+        if isinstance(node, ast.Break) and _owning_loop(loop, node) is loop:
+            return True
+    return False
+
+
+def _owning_loop(root: ast.AST, target: ast.AST):
+    """The innermost for/while that a ``break`` under ``root`` belongs to."""
+    owner = None
+
+    def visit(node: ast.AST, loop) -> bool:
+        if node is target:
+            nonlocal owner
+            owner = loop
+            return True
+        for child in ast.iter_child_nodes(node):
+            inner = node if isinstance(node, (ast.For, ast.While)) else loop
+            # break cannot cross a function boundary
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                inner = None
+            if visit(child, inner):
+                return True
+        return False
+
+    visit(root, root if isinstance(root, (ast.For, ast.While)) else None)
+    return owner
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, check_sleep: bool):
+        self.path = path
+        self.check_sleep = check_sleep
+        self.violations: List[Violation] = []
+        self._while_true_stack: List[ast.While] = []
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(rule, self.path, getattr(node, "lineno", 0), message))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report("bare-except", node,
+                         "bare `except:` — catch Exception or narrower")
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        is_forever = (isinstance(node.test, ast.Constant)
+                      and node.test.value is True
+                      and not _loop_can_exit(node))
+        if is_forever:
+            self._while_true_stack.append(node)
+        self.generic_visit(node)
+        if is_forever:
+            self._while_true_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_thread_ctor(node):
+            if not any(kw.arg == "daemon" for kw in node.keywords):
+                self._report("implicit-daemon", node,
+                             "Thread(...) without explicit daemon=")
+        if self.check_sleep and self._while_true_stack and _is_sleep(node):
+            self._report(
+                "unbounded-sleep-poll", node,
+                "time.sleep inside a `while True` loop with no exit — "
+                "poll against a deadline or an event")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation("syntax", path, exc.lineno or 0, str(exc.msg))]
+    check_sleep = "runtime" in path.resolve().parts
+    linter = _Linter(path, check_sleep)
+    linter.visit(tree)
+    return linter.violations
+
+
+def lint_tree(roots: Iterable[Path]) -> List[Violation]:
+    violations: List[Violation] = []
+    for root in roots:
+        paths = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in paths:
+            violations.extend(lint_file(path))
+    return violations
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help=f"files or trees to lint (default: {DEFAULT_TREE})")
+    parser.add_argument("--list", action="store_true",
+                        help="list the rules and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, doc in RULES.items():
+            print(f"{name}: {doc}")
+        return 0
+    roots = args.paths or [DEFAULT_TREE]
+    violations = lint_tree(roots)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print(f"invariants clean across {len(roots)} root(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
